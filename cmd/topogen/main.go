@@ -1,0 +1,139 @@
+// Command topogen generates and inspects the transit-stub topologies
+// the experiments run on.
+//
+// Usage:
+//
+//	topogen -preset ts5k-large -seed 3            # summary statistics
+//	topogen -preset ts5k-small -seed 1 -dot g.dot # also dump Graphviz
+//	topogen -preset ts5k-large -pairs 2000        # distance distributions
+//
+// It reports node/edge/domain counts, degree statistics, and the
+// hop-metric and latency-metric distance distributions for random
+// node pairs (split into same-stub-domain, same-transit-attachment and
+// cross-domain pairs), which is how the figures' distance buckets were
+// sanity-checked.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+
+	"p2plb/internal/stats"
+	"p2plb/internal/topology"
+)
+
+func main() {
+	var (
+		preset = flag.String("preset", "ts5k-large", "topology preset: ts5k-large or ts5k-small")
+		seed   = flag.Int64("seed", 1, "generation seed")
+		pairs  = flag.Int("pairs", 1000, "random pairs to sample for distance stats")
+		dot    = flag.String("dot", "", "write a Graphviz dot file (transit backbone only)")
+	)
+	flag.Parse()
+	var params topology.Params
+	switch *preset {
+	case "ts5k-large":
+		params = topology.TS5kLarge(*seed)
+	case "ts5k-small":
+		params = topology.TS5kSmall(*seed)
+	default:
+		fmt.Fprintf(os.Stderr, "topogen: unknown preset %q\n", *preset)
+		os.Exit(2)
+	}
+	g, err := topology.Generate(params)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+
+	transit := 0
+	degSum, degMax := 0, 0
+	for i := 0; i < g.NumNodes(); i++ {
+		if g.Node(topology.NodeID(i)).Kind == topology.Transit {
+			transit++
+		}
+		d := len(g.Neighbors(topology.NodeID(i)))
+		degSum += d
+		if d > degMax {
+			degMax = d
+		}
+	}
+	fmt.Printf("%s (seed %d)\n", *preset, *seed)
+	fmt.Printf("  nodes: %d (%d transit, %d stub)  edges: %d  domains: %d  connected: %v\n",
+		g.NumNodes(), transit, len(g.StubNodes()), g.NumEdges(), g.NumDomains(), g.Connected())
+	fmt.Printf("  mean degree: %.1f  max degree: %d\n",
+		float64(degSum)/float64(g.NumNodes()), degMax)
+
+	// Distance distributions by pair class.
+	rng := rand.New(rand.NewSource(*seed + 1))
+	hops := topology.NewDistances(g)
+	lat := topology.NewDistancesMetric(g, topology.LatencyMetric)
+	classes := map[string]*struct{ h, l []float64 }{
+		"same-stub-domain": {},
+		"cross-domain":     {},
+	}
+	stubs := g.StubNodes()
+	for sampled := 0; sampled < *pairs; {
+		a := stubs[rng.Intn(len(stubs))]
+		b := stubs[rng.Intn(len(stubs))]
+		if a == b {
+			continue
+		}
+		sampled++
+		key := "cross-domain"
+		if g.Node(a).Domain == g.Node(b).Domain {
+			key = "same-stub-domain"
+		}
+		c := classes[key]
+		c.h = append(c.h, float64(hops.Between(a, b)))
+		c.l = append(c.l, float64(lat.Between(a, b)))
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "  pair class\tn\thops mean\thops p95\tlatency mean\tlatency p95")
+	for _, key := range []string{"same-stub-domain", "cross-domain"} {
+		c := classes[key]
+		if len(c.h) == 0 {
+			continue
+		}
+		hs, ls := stats.Summarize(c.h), stats.Summarize(c.l)
+		fmt.Fprintf(w, "  %s\t%d\t%.1f\t%.1f\t%.0f\t%.0f\n",
+			key, hs.N, hs.Mean, stats.Percentile(c.h, 95), ls.Mean, stats.Percentile(c.l, 95))
+	}
+	w.Flush()
+
+	if *dot != "" {
+		if err := writeDot(g, *dot); err != nil {
+			fmt.Fprintln(os.Stderr, "topogen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  transit backbone written to %s\n", *dot)
+	}
+}
+
+// writeDot dumps the transit backbone (stub domains collapsed) as
+// Graphviz.
+func writeDot(g *topology.Graph, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintln(f, "graph backbone {")
+	for i := 0; i < g.NumNodes(); i++ {
+		a := topology.NodeID(i)
+		if g.Node(a).Kind != topology.Transit {
+			continue
+		}
+		fmt.Fprintf(f, "  t%d [label=\"T%d/d%d\"];\n", a, a, g.Node(a).Domain)
+		for _, e := range g.Neighbors(a) {
+			if g.Node(e.To).Kind == topology.Transit && e.To > a {
+				fmt.Fprintf(f, "  t%d -- t%d [label=%d];\n", a, e.To, e.Weight)
+			}
+		}
+	}
+	fmt.Fprintln(f, "}")
+	return nil
+}

@@ -1,0 +1,59 @@
+// Heterogeneous capacities: the paper's central claim is that load
+// balancing should align the two skews inherent in P2P systems — skewed
+// load distribution and skewed node capabilities — so that high-capacity
+// nodes carry proportionally more load.
+//
+// This example runs the balancer under both load models the paper
+// evaluates (Gaussian and the heavy-tailed Pareto) and shows, per
+// capacity class, the mean load and the mean unit load (load/capacity)
+// before and after. After balancing, unit load is nearly flat across
+// classes: a capacity-10⁴ node carries ~10⁴× the load of a capacity-1
+// node.
+//
+//	go run ./examples/heterogeneous
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"p2plb/internal/exp"
+)
+
+func main() {
+	for _, pareto := range []bool{false, true} {
+		name := "Gaussian"
+		if pareto {
+			name = "Pareto(α=1.5)"
+		}
+		s := exp.DefaultSetup(7)
+		s.Nodes = 1024 // laptop-friendly; use 4096 to match the paper exactly
+		s.Pareto = pareto
+		inst, err := exp.Build(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		before := inst.Balancer.LoadByCapacityClass()
+		res, err := inst.Balancer.RunRound()
+		if err != nil {
+			log.Fatal(err)
+		}
+		after := inst.Balancer.LoadByCapacityClass()
+
+		fmt.Printf("%s loads, %d nodes: %d heavy before, %d after; moved %.1f%% of total load\n",
+			name, s.Nodes, res.HeavyBefore, res.HeavyAfter, 100*res.MovedLoad/res.Global.L)
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "  capacity\tnodes\tmean load before\tafter\tunit load before\tafter")
+		for _, c := range before.Classes() {
+			fmt.Fprintf(w, "  %.0f\t%d\t%.1f\t%.1f\t%.3f\t%.3f\n",
+				c, before.Count(c), before.Mean(c), after.Mean(c),
+				before.Mean(c)/c, after.Mean(c)/c)
+		}
+		w.Flush()
+		fmt.Println()
+	}
+	fmt.Println("note: the flat 'unit load after' column is the aligned-skews result")
+	fmt.Println("(compare the paper's Figures 5 and 6).")
+}

@@ -1,0 +1,93 @@
+// Storage: run the balancer as a long-lived service over an
+// object-backed workload. Objects are hashed into the identifier space
+// (a virtual server's load is the sum of its objects' loads — the
+// paper's own justification for the Gaussian model), 10% of the object
+// population churns between rounds, and the daemon periodically runs
+// full message-level balancing rounds while keeping the K-nary tree
+// repaired.
+//
+//	go run ./examples/storage
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"p2plb/internal/chord"
+	"p2plb/internal/core"
+	"p2plb/internal/daemon"
+	"p2plb/internal/ktree"
+	"p2plb/internal/objects"
+	"p2plb/internal/protocol"
+	"p2plb/internal/sim"
+	"p2plb/internal/workload"
+)
+
+func main() {
+	eng := sim.NewEngine(2024)
+	ring := chord.NewRing(eng, chord.Config{})
+	profile := workload.GnutellaProfile()
+	for i := 0; i < 256; i++ {
+		ring.AddNode(-1, profile.Sample(eng.Rand()), 5)
+	}
+
+	// 100k objects with Zipf popularity: a few hot items, a long tail.
+	store := objects.NewStore(ring)
+	rng := rand.New(rand.NewSource(7))
+	loadFn := objects.ZipfLoads(rng, 1.3, 1, 1<<16, 0.25)
+	if err := store.Populate(rng, 100_000, loadFn); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d nodes, %d virtual servers, %d objects (total load %.0f)\n",
+		len(ring.AliveNodes()), ring.NumVServers(), store.Len(), store.TotalLoad())
+
+	tree, err := ktree.New(ring, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tree.Build(); err != nil {
+		log.Fatal(err)
+	}
+
+	d, err := daemon.New(ring, tree, daemon.Config{
+		RoundInterval:  5_000,
+		RepairInterval: 1_000,
+		Protocol:       protocol.Config{Core: core.Config{Epsilon: 0.05}},
+		BeforeRound: func() {
+			// Workload drift between rounds: 10% of objects churn.
+			if err := store.Drift(rng, 10_000, loadFn); err != nil {
+				log.Fatal(err)
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := d.Start(); err != nil {
+		log.Fatal(err)
+	}
+	eng.RunUntil(60_000)
+	d.Stop()
+	eng.Run()
+
+	fmt.Println("\n round  t(start)  Gini before  Gini after  moved load  transfers")
+	for i, rec := range d.History() {
+		if rec.Err != nil {
+			fmt.Printf("%6d  %8d  round failed: %v\n", i+1, rec.StartedAt, rec.Err)
+			continue
+		}
+		fmt.Printf("%6d  %8d  %11.3f  %10.3f  %10.0f  %9d\n",
+			i+1, rec.StartedAt, rec.GiniBefore, rec.GiniAfter,
+			rec.Result.MovedLoad, len(rec.Result.Assignments))
+	}
+	sum := d.Summarize()
+	fmt.Printf("\n%d rounds (%d failed), %.0f load moved in total; mean Gini %.3f -> %.3f\n",
+		sum.Rounds, sum.Failed, sum.TotalMoved, sum.MeanGiniPre, sum.MeanGiniPost)
+	if err := store.CheckLoads(1e-6); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("object accounting consistent after the whole run")
+	fmt.Println("\nnote: the residual Gini (~0.3) is the capacity-granularity floor —")
+	fmt.Println("capacity-1 nodes cannot hold a proportional share of any virtual server.")
+}

@@ -1,0 +1,3 @@
+module p2plb
+
+go 1.22

@@ -1,0 +1,470 @@
+// Package chord simulates a Chord DHT whose physical nodes each host
+// multiple virtual servers (VS), the substrate the paper's load balancer
+// runs on.
+//
+// A virtual server is a first-class ring participant: it has its own
+// identifier and owns the arc (predecessor, self] of the 32-bit space.
+// A physical node hosts several virtual servers and therefore owns
+// several non-contiguous arcs (Figure 1 of the paper). Transferring a
+// virtual server between physical nodes re-homes the VS — a leave
+// followed by a join with the same identifier — so the ring structure is
+// unchanged; only the hosting changes.
+//
+// The simulator keeps a globally consistent ring (sorted VS list) and
+// models the *cost* of distributed operation explicitly: lookups are
+// routed hop by hop through on-demand finger tables, every protocol
+// message is counted on the sim.Engine, and each overlay hop is charged
+// the underlay latency between the hosting physical nodes. Membership
+// churn (join/leave/crash) updates the ring instantly and fires listener
+// callbacks; the soft-state repair the paper relies on lives in the
+// K-nary tree layer above.
+package chord
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"p2plb/internal/ident"
+	"p2plb/internal/sim"
+	"p2plb/internal/topology"
+)
+
+// VServer is a virtual server: one ring participant.
+type VServer struct {
+	ID    ident.ID
+	Owner *Node   // hosting physical node; changes on transfer
+	Load  float64 // current load attributed to this VS's region
+
+	ringPos int // index in Ring.vss; maintained by the ring
+}
+
+// Node is a physical DHT node.
+type Node struct {
+	Index    int             // dense, stable index assigned at creation
+	Underlay topology.NodeID // position in the underlay topology (-1 if none)
+	Capacity float64
+	Alive    bool
+
+	vservers []*VServer
+}
+
+// VServers returns the virtual servers currently hosted by the node.
+// The returned slice must not be modified.
+func (n *Node) VServers() []*VServer { return n.vservers }
+
+// TotalLoad returns L_i: the sum of the loads of the node's virtual
+// servers.
+func (n *Node) TotalLoad() float64 {
+	var l float64
+	for _, vs := range n.vservers {
+		l += vs.Load
+	}
+	return l
+}
+
+// MinVSLoad returns L_{i,min}: the smallest virtual-server load on the
+// node, and false if the node hosts no virtual servers.
+func (n *Node) MinVSLoad() (float64, bool) {
+	if len(n.vservers) == 0 {
+		return 0, false
+	}
+	min := n.vservers[0].Load
+	for _, vs := range n.vservers[1:] {
+		if vs.Load < min {
+			min = vs.Load
+		}
+	}
+	return min, true
+}
+
+// RandomVS returns a uniformly random hosted virtual server, or nil if
+// the node hosts none. The paper has each node report through one
+// randomly chosen VS to avoid redundant reports.
+func (n *Node) RandomVS(rng *rand.Rand) *VServer {
+	if len(n.vservers) == 0 {
+		return nil
+	}
+	return n.vservers[rng.Intn(len(n.vservers))]
+}
+
+// Listener receives ring-change notifications. The K-nary tree layer
+// uses them to migrate or drop KT nodes planted in virtual servers.
+type Listener interface {
+	// VSAdded fires when a virtual server joins the ring.
+	VSAdded(vs *VServer)
+	// VSRemoved fires when a virtual server leaves the ring (its region
+	// is absorbed by its successor).
+	VSRemoved(vs *VServer)
+	// VSTransferred fires when a virtual server moves between physical
+	// nodes (ring structure unchanged).
+	VSTransferred(vs *VServer, from, to *Node)
+}
+
+// LatencyFunc returns the message latency between two physical nodes, in
+// simulation time units.
+type LatencyFunc func(a, b *Node) sim.Time
+
+// ConstantLatency returns a LatencyFunc charging c per message.
+func ConstantLatency(c sim.Time) LatencyFunc {
+	return func(a, b *Node) sim.Time { return c }
+}
+
+// TopologyLatency charges the underlay shortest-path distance between
+// the hosting nodes' positions.
+func TopologyLatency(d *topology.Distances) LatencyFunc {
+	return func(a, b *Node) sim.Time {
+		if a == b || a.Underlay == b.Underlay {
+			return 0
+		}
+		return sim.Time(d.Between(a.Underlay, b.Underlay))
+	}
+}
+
+// Config parameterizes a ring.
+type Config struct {
+	// Latency is the inter-node message latency model. nil means
+	// ConstantLatency(1).
+	Latency LatencyFunc
+	// MinHopLatency is added to every overlay hop so that co-located
+	// nodes still spend nonzero time per hop. Default 1.
+	MinHopLatency sim.Time
+}
+
+// Ring is the Chord overlay.
+type Ring struct {
+	eng       *sim.Engine
+	cfg       Config
+	nodes     []*Node
+	vss       []*VServer // alive virtual servers, sorted by ID
+	listeners []Listener
+}
+
+// Message kinds counted on the engine.
+const (
+	MsgLookupHop = "chord.lookup-hop"
+)
+
+// NewRing returns an empty ring driven by eng.
+func NewRing(eng *sim.Engine, cfg Config) *Ring {
+	if cfg.Latency == nil {
+		cfg.Latency = ConstantLatency(1)
+	}
+	if cfg.MinHopLatency == 0 {
+		cfg.MinHopLatency = 1
+	}
+	return &Ring{eng: eng, cfg: cfg}
+}
+
+// Engine returns the simulation engine driving the ring.
+func (r *Ring) Engine() *sim.Engine { return r.eng }
+
+// Subscribe registers a ring-change listener.
+func (r *Ring) Subscribe(l Listener) { r.listeners = append(r.listeners, l) }
+
+// Latency returns the configured message latency between two nodes.
+func (r *Ring) Latency(a, b *Node) sim.Time { return r.cfg.Latency(a, b) }
+
+// Nodes returns all physical nodes ever added, including dead ones
+// (check Alive). The returned slice must not be modified.
+func (r *Ring) Nodes() []*Node { return r.nodes }
+
+// AliveNodes returns the physical nodes currently in the system.
+func (r *Ring) AliveNodes() []*Node {
+	out := make([]*Node, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		if n.Alive {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// VServers returns the live virtual servers in ring order. The returned
+// slice must not be modified.
+func (r *Ring) VServers() []*VServer { return r.vss }
+
+// NumVServers returns the number of live virtual servers.
+func (r *Ring) NumVServers() int { return len(r.vss) }
+
+// AddNode creates a physical node hosting numVS virtual servers with
+// identifiers drawn from the engine RNG, and joins them to the ring.
+func (r *Ring) AddNode(underlay topology.NodeID, capacity float64, numVS int) *Node {
+	n := &Node{
+		Index:    len(r.nodes),
+		Underlay: underlay,
+		Capacity: capacity,
+		Alive:    true,
+	}
+	r.nodes = append(r.nodes, n)
+	for i := 0; i < numVS; i++ {
+		r.addVS(n, r.randomFreeID())
+	}
+	return n
+}
+
+// AddNodeWithIDs is AddNode with caller-chosen VS identifiers (tests and
+// deterministic scenarios). Duplicate identifiers are rejected.
+func (r *Ring) AddNodeWithIDs(underlay topology.NodeID, capacity float64, ids []ident.ID) (*Node, error) {
+	for _, id := range ids {
+		if _, ok := r.findVS(id); ok {
+			return nil, fmt.Errorf("chord: duplicate VS id %s", id)
+		}
+	}
+	seen := map[ident.ID]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			return nil, fmt.Errorf("chord: duplicate VS id %s in request", id)
+		}
+		seen[id] = true
+	}
+	n := &Node{
+		Index:    len(r.nodes),
+		Underlay: underlay,
+		Capacity: capacity,
+		Alive:    true,
+	}
+	r.nodes = append(r.nodes, n)
+	for _, id := range ids {
+		r.addVS(n, id)
+	}
+	return n, nil
+}
+
+func (r *Ring) randomFreeID() ident.ID {
+	for {
+		id := ident.ID(r.eng.Rand().Uint32())
+		if _, ok := r.findVS(id); !ok {
+			return id
+		}
+	}
+}
+
+func (r *Ring) addVS(n *Node, id ident.ID) *VServer {
+	vs := &VServer{ID: id, Owner: n}
+	pos := sort.Search(len(r.vss), func(i int) bool { return r.vss[i].ID >= id })
+	r.vss = append(r.vss, nil)
+	copy(r.vss[pos+1:], r.vss[pos:])
+	r.vss[pos] = vs
+	for i := pos; i < len(r.vss); i++ {
+		r.vss[i].ringPos = i
+	}
+	n.vservers = append(n.vservers, vs)
+	for _, l := range r.listeners {
+		l.VSAdded(vs)
+	}
+	return vs
+}
+
+// RemoveNode removes a physical node from the system (leave or crash).
+// Each of its virtual servers leaves the ring; a departed VS's region
+// and load are absorbed by its ring successor, mirroring how the
+// successor takes over the keys of a failed participant.
+func (r *Ring) RemoveNode(n *Node) {
+	if !n.Alive {
+		return
+	}
+	n.Alive = false
+	vss := n.vservers
+	n.vservers = nil
+	for _, vs := range vss {
+		r.removeVS(vs)
+	}
+}
+
+func (r *Ring) removeVS(vs *VServer) {
+	pos := vs.ringPos
+	if pos >= len(r.vss) || r.vss[pos] != vs {
+		panic("chord: corrupted ring position")
+	}
+	r.vss = append(r.vss[:pos], r.vss[pos+1:]...)
+	for i := pos; i < len(r.vss); i++ {
+		r.vss[i].ringPos = i
+	}
+	// The successor absorbs the departed region's load.
+	if len(r.vss) > 0 && vs.Load > 0 {
+		succ := r.vss[pos%len(r.vss)]
+		succ.Load += vs.Load
+	}
+	for _, l := range r.listeners {
+		l.VSRemoved(vs)
+	}
+}
+
+// RemoveVServer makes a virtual server leave the ring without its node
+// leaving: the CFS-style shedding baseline, where an overloaded node
+// simply deletes virtual servers. The departed VS's region and load are
+// absorbed by its ring successor (which may live on a different node —
+// the mechanism behind load thrashing).
+func (r *Ring) RemoveVServer(vs *VServer) {
+	owner := vs.Owner
+	for i, v := range owner.vservers {
+		if v == vs {
+			owner.vservers = append(owner.vservers[:i], owner.vservers[i+1:]...)
+			break
+		}
+	}
+	r.removeVS(vs)
+}
+
+// Transfer re-homes a virtual server from its current owner to the node
+// to. The ring structure (identifier, region, load) is unchanged.
+func (r *Ring) Transfer(vs *VServer, to *Node) {
+	from := vs.Owner
+	if from == to {
+		return
+	}
+	for i, v := range from.vservers {
+		if v == vs {
+			from.vservers = append(from.vservers[:i], from.vservers[i+1:]...)
+			break
+		}
+	}
+	vs.Owner = to
+	to.vservers = append(to.vservers, vs)
+	for _, l := range r.listeners {
+		l.VSTransferred(vs, from, to)
+	}
+}
+
+// findVS returns the VS with exactly the given identifier.
+func (r *Ring) findVS(id ident.ID) (*VServer, bool) {
+	pos := sort.Search(len(r.vss), func(i int) bool { return r.vss[i].ID >= id })
+	if pos < len(r.vss) && r.vss[pos].ID == id {
+		return r.vss[pos], true
+	}
+	return nil, false
+}
+
+// Successor returns the virtual server owning key: the first VS at or
+// clockwise after key. It is the ground truth the routed lookup must
+// agree with. It returns nil on an empty ring.
+func (r *Ring) Successor(key ident.ID) *VServer {
+	if len(r.vss) == 0 {
+		return nil
+	}
+	pos := sort.Search(len(r.vss), func(i int) bool { return r.vss[i].ID >= key })
+	return r.vss[pos%len(r.vss)]
+}
+
+// Predecessor returns the virtual server immediately counterclockwise of
+// vs on the ring (itself if it is alone).
+func (r *Ring) Predecessor(vs *VServer) *VServer {
+	return r.vss[(vs.ringPos+len(r.vss)-1)%len(r.vss)]
+}
+
+// RegionOf returns the arc of the identifier space owned by vs:
+// (predecessor, vs] as a half-open region.
+func (r *Ring) RegionOf(vs *VServer) ident.Region {
+	return ident.OwnershipArc(r.Predecessor(vs).ID, vs.ID)
+}
+
+// closestPreceding returns the live VS reachable from cur's finger table
+// that most closely precedes key, or nil when cur's immediate successor
+// already owns key. Fingers are computed on demand from the consistent
+// ring: finger k of cur is Successor(cur.ID + 2^k).
+func (r *Ring) closestPreceding(cur *VServer, key ident.ID) *VServer {
+	// If key is in (cur, successor(cur)], routing terminates.
+	succ := r.vss[(cur.ringPos+1)%len(r.vss)]
+	if key.Between(cur.ID, succ.ID) {
+		return nil
+	}
+	for k := ident.Bits - 1; k >= 0; k-- {
+		f := r.Successor(cur.ID.Add(uint64(1) << uint(k)))
+		if f == cur {
+			continue
+		}
+		// f must strictly precede key (f in (cur, key)).
+		if f.ID != key && f.ID.Between(cur.ID, key) {
+			return f
+		}
+	}
+	return succ
+}
+
+// LookupResult is delivered to a Lookup callback.
+type LookupResult struct {
+	VS   *VServer // owner of the key
+	Hops int      // overlay hops traversed
+	Cost sim.Time // total latency charged
+}
+
+// Lookup routes a lookup for key starting at the physical node from,
+// delivering the result asynchronously after the routed path's latency.
+// Each overlay hop costs the underlay latency between consecutive
+// hosting nodes (plus MinHopLatency) and is counted as a message.
+func (r *Ring) Lookup(from *Node, key ident.ID, cb func(LookupResult)) {
+	if len(r.vss) == 0 {
+		panic("chord: lookup on empty ring")
+	}
+	start := from.vservers
+	var cur *VServer
+	if len(start) > 0 {
+		cur = start[0]
+	} else {
+		// A node with no virtual servers routes via the key's owner
+		// region start; charge one hop to enter the ring.
+		cur = r.Successor(ident.ID(r.eng.Rand().Uint32()))
+	}
+	r.lookupStep(from, cur, key, 0, 0, cb)
+}
+
+func (r *Ring) lookupStep(origin *Node, cur *VServer, key ident.ID, hops int, cost sim.Time, cb func(LookupResult)) {
+	next := r.closestPreceding(cur, key)
+	if next == nil {
+		succ := r.vss[(cur.ringPos+1)%len(r.vss)]
+		hop := r.cfg.Latency(cur.Owner, succ.Owner) + r.cfg.MinHopLatency
+		r.eng.CountMessage(MsgLookupHop, hop)
+		r.eng.Schedule(hop, func() {
+			cb(LookupResult{VS: succ, Hops: hops + 1, Cost: cost + hop})
+		})
+		return
+	}
+	hop := r.cfg.Latency(cur.Owner, next.Owner) + r.cfg.MinHopLatency
+	r.eng.CountMessage(MsgLookupHop, hop)
+	r.eng.Schedule(hop, func() {
+		// Membership may have changed while the message was in flight;
+		// restart from the ring's current view if next left the ring.
+		if next.ringPos >= len(r.vss) || r.vss[next.ringPos] != next {
+			r.lookupStep(origin, r.Successor(key), key, hops+1, cost+hop, cb)
+			return
+		}
+		r.lookupStep(origin, next, key, hops+1, cost+hop, cb)
+	})
+}
+
+// LookupSync resolves the owner of key immediately without simulating
+// messages (setup and verification paths).
+func (r *Ring) LookupSync(key ident.ID) *VServer { return r.Successor(key) }
+
+// CheckInvariants verifies internal consistency (tests): ring order,
+// position indexes, owner back-links, and that regions partition the
+// circle. It panics on violation.
+func (r *Ring) CheckInvariants() {
+	var total uint64
+	for i, vs := range r.vss {
+		if vs.ringPos != i {
+			panic(fmt.Sprintf("chord: vs %s ringPos %d != %d", vs.ID, vs.ringPos, i))
+		}
+		if i > 0 && r.vss[i-1].ID >= vs.ID {
+			panic(fmt.Sprintf("chord: ring out of order at %d", i))
+		}
+		if !vs.Owner.Alive {
+			panic("chord: VS owned by dead node")
+		}
+		found := false
+		for _, v := range vs.Owner.vservers {
+			if v == vs {
+				found = true
+				break
+			}
+		}
+		if !found {
+			panic("chord: owner does not list VS")
+		}
+		total += r.RegionOf(vs).Width
+	}
+	if len(r.vss) > 0 && total != ident.SpaceSize {
+		panic(fmt.Sprintf("chord: regions cover %d of %d", total, ident.SpaceSize))
+	}
+}

@@ -1,0 +1,125 @@
+package chord
+
+import (
+	"p2plb/internal/ident"
+	"p2plb/internal/sim"
+)
+
+// This file implements Pastry/Tapestry-style prefix routing over the
+// same ring of virtual servers. The paper notes (§4.3) that its
+// techniques "are applicable or easily adapted to other DHTs such as
+// Pastry and Tapestry"; everything above the lookup layer (the K-nary
+// tree, LBI, VSA, VST) only needs *some* O(log N) routed lookup and the
+// successor ownership rule, so swapping Chord's finger routing for
+// digit-prefix routing changes nothing else. PrefixLookup demonstrates
+// that: same ownership semantics, different routing geometry.
+
+// PrefixDigitBits is the digit width b of the prefix routing (base 2^b
+// = 16, Pastry's default).
+const PrefixDigitBits = 4
+
+// Message kind counted on the engine.
+const MsgPrefixHop = "chord.prefix-hop"
+
+// commonPrefixDigits returns how many leading base-2^b digits a and b
+// share.
+func commonPrefixDigits(a, b ident.ID) int {
+	x := uint32(a) ^ uint32(b)
+	if x == 0 {
+		return ident.Bits / PrefixDigitBits
+	}
+	n := 0
+	for shift := ident.Bits - PrefixDigitBits; shift >= 0; shift -= PrefixDigitBits {
+		if x>>uint(shift)&0xF != 0 {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// prefixNext returns the next hop for key from cur under prefix
+// routing: a live VS whose identifier shares a strictly longer digit
+// prefix with key, preferring the longest achievable improvement
+// (Pastry's routing-table step). It returns nil when cur's prefix
+// cannot be improved — the key's owner is then one direct hop away.
+func (r *Ring) prefixNext(cur *VServer, key ident.ID) *VServer {
+	curLen := commonPrefixDigits(cur.ID, key)
+	for l := ident.Bits / PrefixDigitBits; l > curLen; l-- {
+		if vs := r.bestInPrefixBlock(key, l); vs != nil && vs != cur {
+			return vs
+		}
+	}
+	return nil
+}
+
+// bestInPrefixBlock returns a VS whose identifier shares at least l
+// leading digits with key (the first one in the key's aligned l-digit
+// block), or nil if the block holds no VS.
+func (r *Ring) bestInPrefixBlock(key ident.ID, l int) *VServer {
+	shift := uint(ident.Bits - l*PrefixDigitBits)
+	if l*PrefixDigitBits >= ident.Bits {
+		if vs, ok := r.findVS(key); ok {
+			return vs
+		}
+		return nil
+	}
+	blockStart := ident.ID(uint32(key) >> shift << shift)
+	blockWidth := uint64(1) << shift
+	// First VS at or after blockStart.
+	vs := r.Successor(blockStart)
+	if vs == nil {
+		return nil
+	}
+	if blockStart.Dist(vs.ID) >= blockWidth {
+		return nil // block holds no VS
+	}
+	return vs
+}
+
+// PrefixLookup routes a lookup for key with Pastry-style prefix routing
+// and delivers the key's owner (the successor, as everywhere in this
+// ring). Each overlay hop is counted as MsgPrefixHop and charged the
+// inter-host latency.
+func (r *Ring) PrefixLookup(from *Node, key ident.ID, cb func(LookupResult)) {
+	if len(r.vss) == 0 {
+		panic("chord: prefix lookup on empty ring")
+	}
+	var cur *VServer
+	if len(from.vservers) > 0 {
+		cur = from.vservers[0]
+	} else {
+		cur = r.Successor(ident.ID(r.eng.Rand().Uint32()))
+	}
+	r.prefixStep(cur, key, 0, 0, cb)
+}
+
+func (r *Ring) prefixStep(cur *VServer, key ident.ID, hops int, cost sim.Time, cb func(LookupResult)) {
+	next := r.prefixNext(cur, key)
+	if next == nil {
+		// No prefix improvement possible: the owner is the key's
+		// successor; hand over directly (one final hop unless cur
+		// already owns the key).
+		owner := r.Successor(key)
+		if owner == cur {
+			cb(LookupResult{VS: cur, Hops: hops, Cost: cost})
+			return
+		}
+		hop := r.cfg.Latency(cur.Owner, owner.Owner) + r.cfg.MinHopLatency
+		r.eng.CountMessage(MsgPrefixHop, hop)
+		r.eng.Schedule(hop, func() {
+			cb(LookupResult{VS: r.Successor(key), Hops: hops + 1, Cost: cost + hop})
+		})
+		return
+	}
+	hop := r.cfg.Latency(cur.Owner, next.Owner) + r.cfg.MinHopLatency
+	r.eng.CountMessage(MsgPrefixHop, hop)
+	r.eng.Schedule(hop, func() {
+		// Restart from the current view if next left the ring mid-hop.
+		if next.ringPos >= len(r.vss) || r.vss[next.ringPos] != next {
+			r.prefixStep(r.Successor(key), key, hops+1, cost+hop, cb)
+			return
+		}
+		r.prefixStep(next, key, hops+1, cost+hop, cb)
+	})
+}

@@ -1,0 +1,168 @@
+package chord
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"p2plb/internal/ident"
+	"p2plb/internal/sim"
+)
+
+func TestCommonPrefixDigits(t *testing.T) {
+	cases := []struct {
+		a, b ident.ID
+		want int
+	}{
+		{0x00000000, 0x00000000, 8},
+		{0x12345678, 0x12345678, 8},
+		{0x12345678, 0x12345679, 7},
+		{0x12345678, 0x1234567F, 7},
+		{0x12345678, 0x12340000, 4},
+		{0x12345678, 0x82345678, 0},
+		{0xF0000000, 0x0F000000, 0},
+	}
+	for _, c := range cases {
+		if got := commonPrefixDigits(c.a, c.b); got != c.want {
+			t.Errorf("commonPrefixDigits(%s,%s) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+	// Symmetry property.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		a, b := ident.ID(rng.Uint32()), ident.ID(rng.Uint32())
+		if commonPrefixDigits(a, b) != commonPrefixDigits(b, a) {
+			t.Fatal("commonPrefixDigits not symmetric")
+		}
+	}
+}
+
+func TestPrefixLookupMatchesSuccessor(t *testing.T) {
+	r := newTestRing(t, 31, 64, 5)
+	eng := r.Engine()
+	rng := rand.New(rand.NewSource(2))
+	nodes := r.AliveNodes()
+	for i := 0; i < 200; i++ {
+		key := ident.ID(rng.Uint32())
+		from := nodes[rng.Intn(len(nodes))]
+		want := r.Successor(key)
+		done := false
+		r.PrefixLookup(from, key, func(res LookupResult) {
+			done = true
+			if res.VS != want {
+				t.Errorf("prefix lookup(%s) = %s, want %s", key, res.VS.ID, want.ID)
+			}
+		})
+		eng.Run()
+		if !done {
+			t.Fatal("prefix lookup never completed")
+		}
+	}
+}
+
+func TestPrefixLookupHopCount(t *testing.T) {
+	// Prefix routing resolves O(log_16 V) digits: with ~1280 VSs the
+	// digit bound is ceil(log16(1280)) ≈ 3 improving hops (+1 final).
+	r := newTestRing(t, 32, 256, 5)
+	eng := r.Engine()
+	rng := rand.New(rand.NewSource(3))
+	nodes := r.AliveNodes()
+	var total int
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		key := ident.ID(rng.Uint32())
+		from := nodes[rng.Intn(len(nodes))]
+		r.PrefixLookup(from, key, func(res LookupResult) { total += res.Hops })
+		eng.Run()
+	}
+	avg := float64(total) / trials
+	bound := math.Log(float64(r.NumVServers()))/math.Log(16) + 2
+	if avg > bound {
+		t.Errorf("prefix lookup averages %.2f hops, want <= %.2f", avg, bound)
+	}
+	if eng.MessageCount(MsgPrefixHop) == 0 {
+		t.Error("prefix hops not counted")
+	}
+}
+
+func TestPrefixLookupFewerHopsThanChord(t *testing.T) {
+	// Base-16 digits resolve ~4 bits per hop versus Chord's ~1: prefix
+	// routing should clearly beat finger routing on average.
+	rPrefix := newTestRing(t, 33, 256, 5)
+	rChord := newTestRing(t, 33, 256, 5)
+	rng := rand.New(rand.NewSource(4))
+	var hopsPrefix, hopsChord int
+	const trials = 150
+	for i := 0; i < trials; i++ {
+		key := ident.ID(rng.Uint32())
+		idx := rng.Intn(256)
+		rPrefix.PrefixLookup(rPrefix.AliveNodes()[idx], key,
+			func(res LookupResult) { hopsPrefix += res.Hops })
+		rPrefix.Engine().Run()
+		rChord.Lookup(rChord.AliveNodes()[idx], key,
+			func(res LookupResult) { hopsChord += res.Hops })
+		rChord.Engine().Run()
+	}
+	if hopsPrefix >= hopsChord {
+		t.Errorf("prefix routing took %d hops total, chord %d — expected fewer", hopsPrefix, hopsChord)
+	}
+}
+
+func TestPrefixLookupSingleVS(t *testing.T) {
+	r := NewRing(sim.NewEngine(1), Config{})
+	r.AddNodeWithIDs(-1, 10, []ident.ID{0x12345678})
+	done := false
+	r.PrefixLookup(r.AliveNodes()[0], 0xCAFEBABE, func(res LookupResult) {
+		done = true
+		if res.VS.ID != 0x12345678 {
+			t.Error("wrong owner on single-VS ring")
+		}
+	})
+	r.Engine().Run()
+	if !done {
+		t.Fatal("lookup did not complete")
+	}
+}
+
+func TestPrefixLookupUnderChurn(t *testing.T) {
+	r := newTestRing(t, 34, 64, 4)
+	eng := r.Engine()
+	rng := rand.New(rand.NewSource(5))
+	completed := 0
+	for i := 0; i < 40; i++ {
+		key := ident.ID(rng.Uint32())
+		from := r.AliveNodes()[rng.Intn(16)]
+		r.PrefixLookup(from, key, func(res LookupResult) {
+			completed++
+			if !r.RegionOf(res.VS).Contains(key) {
+				t.Errorf("post-churn prefix lookup returned non-owner")
+			}
+		})
+	}
+	for i := 0; i < 8; i++ {
+		victims := r.AliveNodes()
+		r.RemoveNode(victims[rng.Intn(len(victims)-1)+1])
+		for j := 0; j < 15; j++ {
+			eng.Step()
+		}
+	}
+	eng.Run()
+	if completed != 40 {
+		t.Fatalf("only %d/40 prefix lookups completed under churn", completed)
+	}
+}
+
+func BenchmarkPrefixLookup(b *testing.B) {
+	eng := sim.NewEngine(1)
+	r := NewRing(eng, Config{})
+	for j := 0; j < 1024; j++ {
+		r.AddNode(-1, 100, 5)
+	}
+	nodes := r.AliveNodes()
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.PrefixLookup(nodes[rng.Intn(len(nodes))], ident.ID(rng.Uint32()), func(LookupResult) {})
+		eng.Run()
+	}
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math"
+	"p2plb/internal/chord"
+	"p2plb/internal/ktree"
+	"p2plb/internal/sim"
+)
+
+// nodeLBI builds the report a DHT node submits during LBI aggregation:
+// <L_i, C_i, L_{i,min}> (§3.2). A node that currently hosts no virtual
+// servers (it shed them all in an earlier round) still reports its
+// capacity; its "minimum VS load" is +Inf so it never defines the global
+// Lmin.
+func nodeLBI(n *chord.Node) LBI {
+	min, ok := n.MinVSLoad()
+	if !ok {
+		return LBI{L: 0, C: n.Capacity, Lmin: math.Inf(1), ok: true}
+	}
+	return LBI{L: n.TotalLoad(), C: n.Capacity, Lmin: min, ok: true}
+}
+
+// lbiOutcome carries the result of the aggregation phase.
+type lbiOutcome struct {
+	global        LBI
+	aggregateTime sim.Time // converge-cast completion at the root
+	disperseTime  sim.Time // dissemination completion at the last leaf
+}
+
+// aggregateLBI runs the LBI aggregation and dissemination over the tree.
+//
+// Every alive DHT node reports its LBI through one randomly chosen
+// hosted virtual server to one KT leaf planted in it (both local,
+// cost-free interactions). The tree then performs a bottom-up
+// converge-cast — each KT node merges its children's tuples and forwards
+// one report to its parent — followed by a top-down dissemination of the
+// global tuple. One message per tree edge in each direction; completion
+// times follow the slowest root-to-leaf chain.
+func (b *Balancer) aggregateLBI() lbiOutcome {
+	eng := b.ring.Engine()
+	// Leaf inboxes: which leaves receive which node reports.
+	inbox := make(map[*ktree.Node][]LBI)
+	for _, n := range b.ring.Nodes() {
+		if !n.Alive {
+			continue
+		}
+		vs := n.RandomVS(eng.Rand())
+		if vs == nil {
+			// A node hosting no virtual servers reports through an
+			// arbitrary ring participant it knows of.
+			all := b.ring.VServers()
+			vs = all[eng.Rand().Intn(len(all))]
+		}
+		leaves := b.tree.LeavesOf(vs)
+		leaf := leaves[eng.Rand().Intn(len(leaves))]
+		inbox[leaf] = append(inbox[leaf], nodeLBI(n))
+	}
+
+	var up func(n *ktree.Node) (LBI, sim.Time)
+	up = func(n *ktree.Node) (LBI, sim.Time) {
+		var agg LBI
+		var ready sim.Time
+		for _, r := range inbox[n] {
+			agg = agg.Merge(r)
+		}
+		for _, c := range n.Children {
+			if c == nil {
+				continue
+			}
+			childAgg, childReady := up(c)
+			edge := b.tree.EdgeLatency(c)
+			eng.CountMessage(MsgLBIReport, edge)
+			agg = agg.Merge(childAgg)
+			if t := childReady + edge; t > ready {
+				ready = t
+			}
+		}
+		return agg, ready
+	}
+	global, aggTime := up(b.tree.Root())
+
+	var down func(n *ktree.Node, t sim.Time) sim.Time
+	down = func(n *ktree.Node, t sim.Time) sim.Time {
+		last := t
+		for _, c := range n.Children {
+			if c == nil {
+				continue
+			}
+			edge := b.tree.EdgeLatency(c)
+			eng.CountMessage(MsgLBIDisperse, edge)
+			if end := down(c, t+edge); end > last {
+				last = end
+			}
+		}
+		return last
+	}
+	dispTime := down(b.tree.Root(), aggTime)
+
+	return lbiOutcome{global: global, aggregateTime: aggTime, disperseTime: dispTime}
+}
+
+// classify evaluates every alive node against the global LBI (§3.3):
+// T_i = (1+ε)·C_i·(L/C); heavy if L_i > T_i; light if T_i − L_i ≥ Lmin;
+// neutral otherwise. Heavy nodes also select their shed subset.
+func (b *Balancer) classify(global LBI) []*NodeState {
+	var out []*NodeState
+	for _, n := range b.ring.Nodes() {
+		if !n.Alive {
+			continue
+		}
+		out = append(out, b.classifyNode(n, global))
+	}
+	return out
+}
+
+// classifyNode classifies a single node.
+func (b *Balancer) classifyNode(n *chord.Node, global LBI) *NodeState {
+	st := &NodeState{Node: n, Load: n.TotalLoad()}
+	if global.C <= 0 {
+		st.Class = Neutral
+		return st
+	}
+	st.Target = (1 + b.cfg.Epsilon) * n.Capacity * (global.L / global.C)
+	gap := st.Target - st.Load
+	switch {
+	case st.Load > st.Target:
+		st.Class = Heavy
+		st.Offers = chooseShedSubset(n.VServers(), st.Load-st.Target, b.cfg.Subset)
+	case gap >= global.Lmin:
+		st.Class = Light
+		st.Deficit = gap
+	default:
+		st.Class = Neutral
+	}
+	return st
+}
+
+// census counts classes.
+func census(states []*NodeState) (heavy, light, neutral int) {
+	for _, s := range states {
+		switch s.Class {
+		case Heavy:
+			heavy++
+		case Light:
+			light++
+		default:
+			neutral++
+		}
+	}
+	return
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"p2plb/internal/chord"
+	"p2plb/internal/ident"
+)
+
+// buildPairList constructs a PairList from raw deficit/load values.
+func buildPairList(deficits, loads []float64, groups []uint64) (*PairList, float64, float64) {
+	pl := &PairList{}
+	var totalDeficit, totalOffer float64
+	for i, d := range deficits {
+		pl.AddLight(d, &chord.Node{Index: i, Alive: true}, groupAt(groups, i))
+		totalDeficit += d
+	}
+	for i, l := range loads {
+		vs := &chord.VServer{ID: ident.ID(10000 + i), Load: l}
+		pl.AddOffer(vs, &chord.Node{Index: 1000 + i, Alive: true}, groupAt(groups, i))
+		totalOffer += l
+	}
+	return pl, totalDeficit, totalOffer
+}
+
+func groupAt(groups []uint64, i int) uint64 {
+	if len(groups) == 0 {
+		return 0
+	}
+	return groups[i%len(groups)]
+}
+
+// TestPairListConservation checks the fundamental pairing invariants on
+// random instances:
+//  1. every offer is either paired or still held (none vanish);
+//  2. a paired offer's load never exceeds the deficit of the light node
+//     it was assigned to at assignment time — equivalently, the total
+//     load assigned to any one light node never exceeds its deficit;
+//  3. unpaired offers genuinely fit no remaining light node.
+func TestPairListConservation(t *testing.T) {
+	f := func(rawDeficits, rawLoads []uint16, rawGroups []uint64, lminRaw uint8) bool {
+		deficits := make([]float64, 0, len(rawDeficits))
+		for _, d := range rawDeficits {
+			deficits = append(deficits, float64(d%1000))
+		}
+		loads := make([]float64, 0, len(rawLoads))
+		for _, l := range rawLoads {
+			loads = append(loads, float64(l%500)+1)
+		}
+		groups := make([]uint64, len(rawGroups))
+		for i, g := range rawGroups {
+			groups[i] = g % 4 // few groups so grouping actually kicks in
+		}
+		lmin := float64(lminRaw % 16)
+
+		pl, _, totalOffer := buildPairList(deficits, loads, groups)
+		offersBefore := pl.Offers()
+		pairs := pl.Pair(lmin)
+
+		// (1) conservation of offers.
+		if len(pairs)+pl.Offers() != offersBefore {
+			return false
+		}
+		// (2) per-light assigned load <= original deficit.
+		assigned := map[int]float64{}
+		for _, p := range pairs {
+			assigned[p.To.Index] += p.Load
+		}
+		for idx, sum := range assigned {
+			if idx >= len(deficits) || sum > deficits[idx]+1e-9 {
+				return false
+			}
+		}
+		// Moved load accounted exactly.
+		var movedSum float64
+		for _, p := range pairs {
+			movedSum += p.Load
+		}
+		if movedSum+pl.OfferLoad() > totalOffer+1e-6 ||
+			movedSum+pl.OfferLoad() < totalOffer-1e-6 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPairListUnpairedTrulyUnfit(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		nd, nl := rng.Intn(20), rng.Intn(20)
+		deficits := make([]float64, nd)
+		for i := range deficits {
+			deficits[i] = rng.Float64() * 100
+		}
+		loads := make([]float64, nl)
+		for i := range loads {
+			loads[i] = rng.Float64()*150 + 1
+		}
+		pl, _, _ := buildPairList(deficits, loads, nil)
+		lmin := rng.Float64() * 10
+		pairs := pl.Pair(lmin)
+		_ = pairs
+		// After pairing completes, no remaining offer can fit any
+		// remaining light's deficit — otherwise "no more appropriate
+		// VSA can be achieved" would be false.
+		remOffers := pl.Offers()
+		remLights := pl.Lights()
+		if remOffers == 0 || remLights == 0 {
+			continue
+		}
+		// Re-pair must produce nothing new.
+		if extra := pl.Pair(lmin); len(extra) != 0 {
+			t.Fatalf("trial %d: second Pair produced %d extra pairs — first pass incomplete",
+				trial, len(extra))
+		}
+	}
+}
+
+func TestPairListMergePreservesEntries(t *testing.T) {
+	a, _, _ := buildPairList([]float64{5, 10}, []float64{3}, nil)
+	b, _, _ := buildPairList([]float64{7}, []float64{4, 8}, nil)
+	a.Merge(b)
+	if a.Lights() != 3 || a.Offers() != 3 || a.Size() != 6 {
+		t.Fatalf("merge lost entries: %d lights, %d offers", a.Lights(), a.Offers())
+	}
+	if a.OfferLoad() != 15 {
+		t.Fatalf("OfferLoad = %v, want 15", a.OfferLoad())
+	}
+}
+
+func TestPairListGroupingPrefersLocal(t *testing.T) {
+	// Two cells: each with one offer and one fitting light. Grouped
+	// pairing must match within cells even when the cross-cell match
+	// would be the global best fit.
+	pl := &PairList{}
+	lightA := &chord.Node{Index: 1, Alive: true}
+	lightB := &chord.Node{Index: 2, Alive: true}
+	// Cell 1: offer load 10, light deficit 50 (loose fit).
+	// Cell 2: offer load 40, light deficit 41 (tight fit).
+	vs1 := &chord.VServer{ID: 100, Load: 10}
+	vs2 := &chord.VServer{ID: 200, Load: 40}
+	pl.AddLight(50, lightA, 1)
+	pl.AddOffer(vs1, &chord.Node{Index: 3, Alive: true}, 1)
+	pl.AddLight(41, lightB, 2)
+	pl.AddOffer(vs2, &chord.Node{Index: 4, Alive: true}, 2)
+	pairs := pl.Pair(1)
+	if len(pairs) != 2 {
+		t.Fatalf("paired %d, want 2", len(pairs))
+	}
+	for _, p := range pairs {
+		if p.VS == vs1 && p.To != lightA {
+			t.Error("cell-1 offer left its cell (global best-fit would pick deficit 41)")
+		}
+		if p.VS == vs2 && p.To != lightB {
+			t.Error("cell-2 offer left its cell")
+		}
+	}
+}
+
+func TestNodeLBIExported(t *testing.T) {
+	n := &chord.Node{Capacity: 50, Alive: true}
+	lbi := NodeLBI(n)
+	if !lbi.Valid() || lbi.C != 50 || lbi.L != 0 {
+		t.Fatalf("VS-less NodeLBI = %+v", lbi)
+	}
+}
+
+func TestClassifyNodeExported(t *testing.T) {
+	n := &chord.Node{Capacity: 10, Alive: true}
+	global := LBI{L: 100, C: 100, Lmin: 1, ok: true}
+	st := ClassifyNode(n, global, 0, SubsetAuto)
+	if st.Class != Light || st.Deficit != 10 {
+		t.Fatalf("VS-less node should be maximally light: %+v", st)
+	}
+}

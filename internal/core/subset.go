@@ -1,0 +1,158 @@
+package core
+
+import (
+	"sort"
+
+	"p2plb/internal/chord"
+)
+
+// SubsetStrategy selects the algorithm a heavy node uses to pick the
+// virtual servers it sheds (§3.4): choose the subset with minimal total
+// load whose removal brings the node to or under its target, i.e.
+// minimize Σ L_{i,k} subject to Σ L_{i,k} >= excess.
+type SubsetStrategy int
+
+// Strategies.
+const (
+	// SubsetAuto uses the exact solver for small VS counts and the
+	// greedy one beyond exactLimit.
+	SubsetAuto SubsetStrategy = iota
+	// SubsetExact enumerates subsets (exponential; only for small counts).
+	SubsetExact
+	// SubsetGreedy takes loads in descending order until the excess is
+	// covered, then prunes and improves with single swaps.
+	SubsetGreedy
+)
+
+// exactLimit is the VS count up to which SubsetAuto enumerates exactly
+// (2^16 subsets at most).
+const exactLimit = 16
+
+// chooseShedSubset picks the virtual servers to shed. The returned
+// slice is ordered by descending load. It returns nil when excess <= 0.
+func chooseShedSubset(vss []*chord.VServer, excess float64, strategy SubsetStrategy) []*chord.VServer {
+	if excess <= 0 || len(vss) == 0 {
+		return nil
+	}
+	sorted := append([]*chord.VServer(nil), vss...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Load != sorted[j].Load {
+			return sorted[i].Load > sorted[j].Load
+		}
+		return sorted[i].ID < sorted[j].ID // deterministic tiebreak
+	})
+	switch strategy {
+	case SubsetExact:
+		return exactSubset(sorted, excess)
+	case SubsetGreedy:
+		return greedySubset(sorted, excess)
+	default:
+		if len(sorted) <= exactLimit {
+			return exactSubset(sorted, excess)
+		}
+		return greedySubset(sorted, excess)
+	}
+}
+
+// exactSubset enumerates all subsets and returns the one with minimal
+// total load >= excess, preferring fewer virtual servers on ties.
+// Input must be sorted by descending load.
+func exactSubset(sorted []*chord.VServer, excess float64) []*chord.VServer {
+	n := len(sorted)
+	bestSum := -1.0
+	bestMask := uint32(0)
+	bestCount := n + 1
+	for mask := uint32(1); mask < 1<<uint(n); mask++ {
+		var sum float64
+		count := 0
+		for i := 0; i < n; i++ {
+			if mask>>uint(i)&1 == 1 {
+				sum += sorted[i].Load
+				count++
+			}
+		}
+		if sum < excess {
+			continue
+		}
+		if bestSum < 0 || sum < bestSum || (sum == bestSum && count < bestCount) {
+			bestSum, bestMask, bestCount = sum, mask, count
+		}
+	}
+	if bestSum < 0 {
+		// Even shedding everything cannot reach the excess (impossible
+		// when excess = load − target <= load, but guard anyway): shed all.
+		return sorted
+	}
+	out := make([]*chord.VServer, 0, bestCount)
+	for i := 0; i < n; i++ {
+		if bestMask>>uint(i)&1 == 1 {
+			out = append(out, sorted[i])
+		}
+	}
+	return out
+}
+
+// greedySubset covers the excess with loads in descending order, then
+// (1) drops any member whose removal keeps the excess covered, smallest
+// first, and (2) repeatedly swaps a chosen VS for a smaller unchosen one
+// while feasibility holds. Input must be sorted by descending load.
+func greedySubset(sorted []*chord.VServer, excess float64) []*chord.VServer {
+	chosen := make([]bool, len(sorted))
+	var sum float64
+	for i, vs := range sorted {
+		if sum >= excess {
+			break
+		}
+		chosen[i] = true
+		sum += vs.Load
+	}
+	if sum < excess {
+		return append([]*chord.VServer(nil), sorted...)
+	}
+	// Drop pass: smallest chosen first (slice is descending, iterate
+	// from the end).
+	for i := len(sorted) - 1; i >= 0; i-- {
+		if chosen[i] && sum-sorted[i].Load >= excess {
+			chosen[i] = false
+			sum -= sorted[i].Load
+		}
+	}
+	// Swap pass: replace a chosen VS with a smaller unchosen one when
+	// that lowers the total while staying feasible.
+	improved := true
+	for improved {
+		improved = false
+		for i := range sorted {
+			if !chosen[i] {
+				continue
+			}
+			for j := i + 1; j < len(sorted); j++ {
+				if chosen[j] || sorted[j].Load >= sorted[i].Load {
+					continue
+				}
+				if sum-sorted[i].Load+sorted[j].Load >= excess {
+					chosen[i], chosen[j] = false, true
+					sum += sorted[j].Load - sorted[i].Load
+					improved = true
+					break
+				}
+			}
+		}
+	}
+	var out []*chord.VServer
+	for i, vs := range sorted {
+		if chosen[i] {
+			out = append(out, vs)
+		}
+	}
+	return out
+}
+
+// subsetLoad sums the loads of a subset.
+func subsetLoad(vss []*chord.VServer) float64 {
+	var s float64
+	for _, vs := range vss {
+		s += vs.Load
+	}
+	return s
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"p2plb/internal/chord"
+	"p2plb/internal/ident"
+)
+
+// mkVSs builds bare virtual servers with the given loads (no ring).
+func mkVSs(loads ...float64) []*chord.VServer {
+	out := make([]*chord.VServer, len(loads))
+	for i, l := range loads {
+		out[i] = &chord.VServer{ID: ident.ID(i + 1), Load: l}
+	}
+	return out
+}
+
+func loadsOf(vss []*chord.VServer) []float64 {
+	out := make([]float64, len(vss))
+	for i, vs := range vss {
+		out[i] = vs.Load
+	}
+	return out
+}
+
+func TestChooseShedSubsetZeroExcess(t *testing.T) {
+	if got := chooseShedSubset(mkVSs(1, 2, 3), 0, SubsetAuto); got != nil {
+		t.Fatalf("zero excess should shed nothing, got %v", loadsOf(got))
+	}
+	if got := chooseShedSubset(mkVSs(1, 2, 3), -5, SubsetAuto); got != nil {
+		t.Fatal("negative excess should shed nothing")
+	}
+	if got := chooseShedSubset(nil, 5, SubsetAuto); got != nil {
+		t.Fatal("no virtual servers, nothing to shed")
+	}
+}
+
+func TestExactSubsetKnownCases(t *testing.T) {
+	cases := []struct {
+		loads  []float64
+		excess float64
+		want   float64 // minimal feasible sum
+	}{
+		{[]float64{5, 4, 3, 2, 1}, 6, 6},   // 4+2 or 5+1: sum 6
+		{[]float64{5, 4, 3, 2, 1}, 5, 5},   // exactly 5
+		{[]float64{5, 4, 3, 2, 1}, 14, 14}, // 5+4+3+2
+		{[]float64{5, 4, 3, 2, 1}, 15, 15}, // everything
+		{[]float64{10, 10, 10}, 1, 10},     // single item overshoot
+		{[]float64{7}, 3, 7},               // only option
+		{[]float64{2, 2, 2}, 3, 4},         // two items
+	}
+	for _, c := range cases {
+		got := chooseShedSubset(mkVSs(c.loads...), c.excess, SubsetExact)
+		if sum := subsetLoad(got); sum != c.want {
+			t.Errorf("exact(%v, %v) shed %v (sum %v), want sum %v",
+				c.loads, c.excess, loadsOf(got), sum, c.want)
+		}
+		if sum := subsetLoad(got); sum < c.excess {
+			t.Errorf("exact result infeasible: %v < %v", sum, c.excess)
+		}
+	}
+}
+
+func TestExactPrefersFewerVSsOnTies(t *testing.T) {
+	// Sum 6 reachable as {6} or {4,2}: prefer the single VS.
+	got := chooseShedSubset(mkVSs(6, 4, 2), 6, SubsetExact)
+	if len(got) != 1 || got[0].Load != 6 {
+		t.Fatalf("want single VS of load 6, got %v", loadsOf(got))
+	}
+}
+
+func TestGreedyFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + rng.Intn(12)
+		loads := make([]float64, n)
+		var total float64
+		for i := range loads {
+			loads[i] = float64(rng.Intn(100)) / 4
+			total += loads[i]
+		}
+		excess := rng.Float64() * total
+		if excess == 0 {
+			continue
+		}
+		got := chooseShedSubset(mkVSs(loads...), excess, SubsetGreedy)
+		if sum := subsetLoad(got); sum < excess {
+			t.Fatalf("greedy infeasible: loads=%v excess=%v shed=%v",
+				loads, excess, loadsOf(got))
+		}
+	}
+}
+
+func TestGreedyNearOptimal(t *testing.T) {
+	// Greedy (with its drop and swap passes) should land within 25% of
+	// the exact optimum on random instances, and exact must never be
+	// worse than greedy.
+	rng := rand.New(rand.NewSource(2))
+	var ratioSum float64
+	trials := 500
+	for trial := 0; trial < trials; trial++ {
+		n := 2 + rng.Intn(10)
+		loads := make([]float64, n)
+		var total float64
+		for i := range loads {
+			loads[i] = 1 + rng.Float64()*20
+			total += loads[i]
+		}
+		excess := rng.Float64() * total * 0.8
+		exact := subsetLoad(chooseShedSubset(mkVSs(loads...), excess, SubsetExact))
+		greedy := subsetLoad(chooseShedSubset(mkVSs(loads...), excess, SubsetGreedy))
+		if greedy < exact-1e-9 {
+			t.Fatalf("greedy %v beat exact %v — exact is not optimal", greedy, exact)
+		}
+		ratioSum += greedy / exact
+	}
+	if avg := ratioSum / float64(trials); avg > 1.25 {
+		t.Errorf("greedy averages %.3fx the optimum, want <= 1.25x", avg)
+	}
+}
+
+func TestAutoStrategyDispatch(t *testing.T) {
+	// <= exactLimit VSs: auto must match exact.
+	loads := []float64{9, 7, 5, 3, 1}
+	auto := subsetLoad(chooseShedSubset(mkVSs(loads...), 8, SubsetAuto))
+	exact := subsetLoad(chooseShedSubset(mkVSs(loads...), 8, SubsetExact))
+	if auto != exact {
+		t.Fatalf("auto %v != exact %v for small instance", auto, exact)
+	}
+	// > exactLimit VSs: auto must still be feasible (greedy path).
+	big := make([]float64, exactLimit+5)
+	for i := range big {
+		big[i] = float64(i + 1)
+	}
+	got := chooseShedSubset(mkVSs(big...), 40, SubsetAuto)
+	if subsetLoad(got) < 40 {
+		t.Fatal("auto infeasible on large instance")
+	}
+}
+
+func TestSubsetDeterministic(t *testing.T) {
+	loads := []float64{4, 4, 4, 4}
+	a := chooseShedSubset(mkVSs(loads...), 7, SubsetExact)
+	b := chooseShedSubset(mkVSs(loads...), 7, SubsetExact)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic subset size")
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			t.Fatal("nondeterministic subset choice")
+		}
+	}
+}
+
+func TestSubsetOrderedByDescendingLoad(t *testing.T) {
+	got := chooseShedSubset(mkVSs(1, 9, 5, 7, 3), 20, SubsetExact)
+	for i := 1; i < len(got); i++ {
+		if got[i].Load > got[i-1].Load {
+			t.Fatalf("subset not descending: %v", loadsOf(got))
+		}
+	}
+}
+
+func BenchmarkExactSubset12(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	loads := make([]float64, 12)
+	for i := range loads {
+		loads[i] = rng.Float64() * 100
+	}
+	vss := mkVSs(loads...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chooseShedSubset(vss, 150, SubsetExact)
+	}
+}
+
+func BenchmarkGreedySubset64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	loads := make([]float64, 64)
+	for i := range loads {
+		loads[i] = rng.Float64() * 100
+	}
+	vss := mkVSs(loads...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chooseShedSubset(vss, 900, SubsetGreedy)
+	}
+}

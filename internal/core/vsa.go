@@ -1,0 +1,342 @@
+package core
+
+import (
+	"sort"
+
+	"p2plb/internal/chord"
+	"p2plb/internal/ident"
+	"p2plb/internal/ktree"
+	"p2plb/internal/sim"
+)
+
+// lightEntry is a light node's advertisement <ΔL_j, ip_addr(j)>.
+// group is the Hilbert-number key the entry was published under in
+// proximity-aware mode (0 in ignorant mode): entries with equal groups
+// come from the same landmark-space grid cell, i.e. physically close
+// nodes.
+type lightEntry struct {
+	deficit float64
+	node    *chord.Node
+	group   uint64
+}
+
+// offerEntry is one shed virtual server <L_{i,k}, v_{i,k}, ip_addr(i)>.
+type offerEntry struct {
+	load  float64
+	vs    *chord.VServer
+	node  *chord.Node
+	group uint64
+}
+
+// vsaLists are the two sorted lists a rendezvous KT node maintains:
+// lights ascending by deficit, offers ascending by load (§3.4).
+type vsaLists struct {
+	lights []lightEntry
+	offers []offerEntry
+}
+
+func (v *vsaLists) size() int { return len(v.lights) + len(v.offers) }
+
+// sortLists establishes the canonical orders with deterministic
+// tiebreaks.
+func (v *vsaLists) sort() {
+	sort.Slice(v.lights, func(i, j int) bool {
+		if v.lights[i].deficit != v.lights[j].deficit {
+			return v.lights[i].deficit < v.lights[j].deficit
+		}
+		return v.lights[i].node.Index < v.lights[j].node.Index
+	})
+	sort.Slice(v.offers, func(i, j int) bool {
+		if v.offers[i].load != v.offers[j].load {
+			return v.offers[i].load < v.offers[j].load
+		}
+		return v.offers[i].vs.ID < v.offers[j].vs.ID
+	})
+}
+
+// merge absorbs o's entries (both lists stay unsorted until sort()).
+func (v *vsaLists) merge(o vsaLists) {
+	v.lights = append(v.lights, o.lights...)
+	v.offers = append(v.offers, o.offers...)
+}
+
+// insertLight re-inserts a residual deficit, keeping lights sorted.
+func (v *vsaLists) insertLight(e lightEntry) {
+	pos := sort.Search(len(v.lights), func(i int) bool {
+		if v.lights[i].deficit != e.deficit {
+			return v.lights[i].deficit > e.deficit
+		}
+		return v.lights[i].node.Index >= e.node.Index
+	})
+	v.lights = append(v.lights, lightEntry{})
+	copy(v.lights[pos+1:], v.lights[pos:])
+	v.lights[pos] = e
+}
+
+// pairing is an Assignment before timing/cost annotation.
+type pairing struct {
+	offer offerEntry
+	to    *chord.Node
+}
+
+// pairLocal pairs entries cell by cell: offers are matched only against
+// light nodes from the same landmark-space grid cell (equal group).
+// This implements the proximity-aware goal of §4.2 — "guide heavy nodes
+// to assign as many virtual servers as possible to those physically
+// close light nodes (if any) ... until no further appropriate virtual
+// server assignment can be achieved" — before any cross-cell pooling.
+// Leftovers of all groups remain in v (sorted) for pairAll. In
+// proximity-ignorant mode every entry has group 0, so pairLocal reduces
+// to pairAll and the combined behaviour is unchanged.
+func (v *vsaLists) pairLocal(lmin float64) []pairing {
+	// Partition both lists by group.
+	lightsBy := make(map[uint64][]lightEntry)
+	for _, l := range v.lights {
+		lightsBy[l.group] = append(lightsBy[l.group], l)
+	}
+	offersBy := make(map[uint64][]offerEntry)
+	for _, o := range v.offers {
+		offersBy[o.group] = append(offersBy[o.group], o)
+	}
+	groups := make([]uint64, 0, len(offersBy))
+	for g := range offersBy {
+		groups = append(groups, g)
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i] < groups[j] })
+	var pairs []pairing
+	v.lights = v.lights[:0]
+	v.offers = v.offers[:0]
+	// Pair within each offer group; groups without offers keep their
+	// lights untouched.
+	for _, g := range groups {
+		sub := vsaLists{lights: lightsBy[g], offers: offersBy[g]}
+		delete(lightsBy, g)
+		sub.sort()
+		pairs = append(pairs, sub.pairAll(lmin)...)
+		v.lights = append(v.lights, sub.lights...)
+		v.offers = append(v.offers, sub.offers...)
+	}
+	for _, lights := range lightsBy {
+		v.lights = append(v.lights, lights...)
+	}
+	v.sort()
+	return pairs
+}
+
+// pairAll runs the paper's pairing loop on sorted lists: repeatedly take
+// the heaviest offered VS, match it to the light node with the smallest
+// deficit that still fits (ΔL_j >= L_{i,k}), and re-insert the residual
+// deficit if it is at least lmin. Offers that fit no light node are left
+// in v.offers (to be propagated upward). Lists must be sorted; they
+// remain sorted on return.
+func (v *vsaLists) pairAll(lmin float64) []pairing {
+	var pairs []pairing
+	var unpaired []offerEntry
+	for len(v.offers) > 0 {
+		// Heaviest remaining offer.
+		o := v.offers[len(v.offers)-1]
+		v.offers = v.offers[:len(v.offers)-1]
+		// Feasible light nodes: deficit >= o.load (a suffix of the
+		// deficit-sorted list).
+		pos := sort.Search(len(v.lights), func(i int) bool {
+			return v.lights[i].deficit >= o.load
+		})
+		if pos == len(v.lights) {
+			unpaired = append(unpaired, o)
+			continue
+		}
+		// Among feasible lights, prefer the one whose publication group
+		// (Hilbert number) is nearest the offer's — physically closest
+		// first (§4.2) — breaking ties by smallest deficit (§3.4). With
+		// ungrouped entries every group distance is 0, so this is
+		// exactly the paper's best-fit rule.
+		for i := pos + 1; i < len(v.lights); i++ {
+			if groupDist(v.lights[i].group, o.group) < groupDist(v.lights[pos].group, o.group) {
+				pos = i
+			}
+		}
+		l := v.lights[pos]
+		v.lights = append(v.lights[:pos], v.lights[pos+1:]...)
+		pairs = append(pairs, pairing{offer: o, to: l.node})
+		if residual := l.deficit - o.load; residual >= lmin && residual > 0 {
+			v.insertLight(lightEntry{deficit: residual, node: l.node})
+		}
+	}
+	// unpaired was built from heaviest to lightest; restore ascending.
+	for i, j := 0, len(unpaired)-1; i < j; i, j = i+1, j-1 {
+		unpaired[i], unpaired[j] = unpaired[j], unpaired[i]
+	}
+	v.offers = unpaired
+	return pairs
+}
+
+// groupDist is the distance between two publication groups (Hilbert
+// numbers scaled into the key space): smaller means physically closer.
+func groupDist(a, b uint64) uint64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// vsaOutcome carries the results of the VSA phase.
+type vsaOutcome struct {
+	assignments     []Assignment
+	unassigned      []offerEntry
+	unmatchedLights []lightEntry
+	publishTime     sim.Time
+	completeTime    sim.Time
+}
+
+// runVSA performs the virtual server assignment sweep. states is the
+// classification census; start is the virtual time at which nodes know
+// their class (end of LBI dissemination).
+func (b *Balancer) runVSA(states []*NodeState, global LBI, start sim.Time) vsaOutcome {
+	eng := b.ring.Engine()
+	inbox, publishEnd := b.buildVSAInboxes(states, start)
+
+	var out vsaOutcome
+	out.publishTime = publishEnd
+
+	threshold := b.cfg.threshold()
+	var up func(n *ktree.Node) (vsaLists, sim.Time)
+	up = func(n *ktree.Node) (vsaLists, sim.Time) {
+		var lists vsaLists
+		ready := publishEnd
+		lists.merge(inbox[n])
+		for _, c := range n.Children {
+			if c == nil {
+				continue
+			}
+			childLists, childReady := up(c)
+			// Every child sends one (possibly empty) epoch report; empty
+			// reports still synchronize the converge-cast.
+			edge := b.tree.EdgeLatency(c)
+			eng.CountMessage(MsgVSAReport, edge)
+			if t := childReady + edge; t > ready {
+				ready = t
+			}
+			lists.merge(childLists)
+		}
+		isRoot := n.Parent == nil
+		if lists.size() == 0 {
+			return lists, ready
+		}
+		if isRoot || (threshold > 0 && lists.size() >= threshold) {
+			lists.sort()
+			// Physically close pairs first (same landmark grid cell),
+			// then the pooled identifier-space pairing of §3.4. Pooled
+			// pairing at intermediate rendezvous points would marry
+			// leftovers of unrelated cells long before all candidates
+			// from nearby cells have merged, so cross-cell leftovers
+			// pair at the root, preferring the nearest cell (§4.2's
+			// "as many virtual servers as possible to physically close
+			// light nodes").
+			pairs := lists.pairLocal(global.Lmin)
+			pairs = append(pairs, lists.pairAll(global.Lmin)...)
+			for _, p := range pairs {
+				// Rendezvous notifies both endpoints directly.
+				costFrom := b.ring.Latency(n.Host.Owner, p.offer.node) + 1
+				costTo := b.ring.Latency(n.Host.Owner, p.to) + 1
+				eng.CountMessage(MsgVSAAssign, costFrom)
+				eng.CountMessage(MsgVSAAssign, costTo)
+				out.assignments = append(out.assignments, Assignment{
+					VS:         p.offer.vs,
+					From:       p.offer.node,
+					To:         p.to,
+					Load:       p.offer.load,
+					AssignedAt: ready,
+					Depth:      n.Depth,
+				})
+			}
+		}
+		return lists, ready
+	}
+	rootLists, rootReady := up(b.tree.Root())
+	out.completeTime = rootReady
+	out.unassigned = rootLists.offers
+	out.unmatchedLights = rootLists.lights
+	return out
+}
+
+// buildVSAInboxes routes each heavy/light node's VSA information to the
+// KT leaf where it enters the tree, per the configured mode. It returns
+// the per-leaf inboxes and the virtual time at which the slowest publish
+// finished (equal to start in ignorant mode, which publishes nothing).
+func (b *Balancer) buildVSAInboxes(states []*NodeState, start sim.Time) (map[*ktree.Node]vsaLists, sim.Time) {
+	eng := b.ring.Engine()
+	inbox := make(map[*ktree.Node]vsaLists)
+	publishEnd := start
+
+	// "the virtual server reports the VSA information to only one of its
+	// KT leaf nodes to avoid sending redundant information" (§4.3): all
+	// of a virtual server's entries enter the tree at a single leaf,
+	// chosen once per round.
+	leafOf := make(map[*chord.VServer]*ktree.Node)
+	deliver := func(vs *chord.VServer, add func(*vsaLists)) {
+		leaf, ok := leafOf[vs]
+		if !ok {
+			leaves := b.tree.LeavesOf(vs)
+			leaf = leaves[eng.Rand().Intn(len(leaves))]
+			leafOf[vs] = leaf
+		}
+		l := inbox[leaf]
+		add(&l)
+		inbox[leaf] = l
+	}
+
+	for _, st := range states {
+		if st.Class == Neutral {
+			continue
+		}
+		var entryVS *chord.VServer
+		var group uint64
+		switch b.cfg.Mode {
+		case ProximityIgnorant:
+			// The node reports through one of its own (randomly chosen)
+			// virtual servers: its position in the sweep is its random
+			// location in the identifier space (§3.4 footnote). A node
+			// with no virtual servers left reports through an arbitrary
+			// ring participant.
+			entryVS = st.Node.RandomVS(eng.Rand())
+			if entryVS == nil {
+				all := b.ring.VServers()
+				entryVS = all[eng.Rand().Intn(len(all))]
+			}
+		case ProximityAware:
+			// The node publishes its VSA information into the DHT under
+			// its Hilbert-number key (§4.3): one put message routed in
+			// O(log V) hops; the owning virtual server reports the
+			// entries to one of its KT leaves.
+			key := b.cfg.Mapper.Key(st.Node.Underlay)
+			if cm, ok := b.cfg.Mapper.(CellMapper); ok {
+				group = cm.Cell(st.Node.Underlay)
+			} else {
+				group = uint64(key)
+			}
+			entryVS = b.ring.Successor(key)
+			cost := lg2(b.ring.NumVServers()) + b.ring.Latency(st.Node, entryVS.Owner)
+			eng.CountMessage(MsgVSAPublish, cost)
+			if t := start + cost; t > publishEnd {
+				publishEnd = t
+			}
+		}
+		st := st
+		deliver(entryVS, func(l *vsaLists) {
+			switch st.Class {
+			case Light:
+				l.lights = append(l.lights, lightEntry{deficit: st.Deficit, node: st.Node, group: group})
+			case Heavy:
+				for _, vs := range st.Offers {
+					l.offers = append(l.offers, offerEntry{load: vs.Load, vs: vs, node: st.Node, group: group})
+				}
+			}
+		})
+	}
+	return inbox, publishEnd
+}
+
+// hilbertKeyOf exposes the key a node publishes under (tests).
+func (b *Balancer) hilbertKeyOf(n *chord.Node) ident.ID {
+	return b.cfg.Mapper.Key(n.Underlay)
+}

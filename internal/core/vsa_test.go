@@ -1,0 +1,206 @@
+package core
+
+import (
+	"testing"
+
+	"p2plb/internal/chord"
+	"p2plb/internal/ident"
+)
+
+func mkNode(idx int) *chord.Node {
+	return &chord.Node{Index: idx, Alive: true}
+}
+
+func mkLists(deficits []float64, loads []float64) *vsaLists {
+	v := &vsaLists{}
+	for i, d := range deficits {
+		v.lights = append(v.lights, lightEntry{deficit: d, node: mkNode(i)})
+	}
+	for i, l := range loads {
+		v.offers = append(v.offers, offerEntry{
+			load: l,
+			vs:   &chord.VServer{ID: ident.ID(1000 + i), Load: l},
+			node: mkNode(100 + i),
+		})
+	}
+	v.sort()
+	return v
+}
+
+func TestPairAllBestFit(t *testing.T) {
+	// Offers 8, 5; lights 6, 9, 20.
+	// Heaviest offer 8 → best fit is 9 (smallest deficit >= 8).
+	// Next offer 5 → best fit is 6.
+	v := mkLists([]float64{6, 9, 20}, []float64{8, 5})
+	pairs := v.pairAll(1)
+	if len(pairs) != 2 {
+		t.Fatalf("paired %d, want 2", len(pairs))
+	}
+	if pairs[0].offer.load != 8 {
+		t.Errorf("first pairing should take the heaviest offer, got %v", pairs[0].offer.load)
+	}
+	if len(v.offers) != 0 {
+		t.Errorf("offers left: %d", len(v.offers))
+	}
+	// Lights left: 20, plus residuals 9-8=1 (>=Lmin) and 6-5=1.
+	if len(v.lights) != 3 {
+		t.Errorf("lights left: %d, want 3 (one untouched + two residuals)", len(v.lights))
+	}
+}
+
+func TestPairAllResidualBelowLmin(t *testing.T) {
+	// Light 10 takes offer 9, residual 1 < Lmin 2 → no re-insert.
+	v := mkLists([]float64{10}, []float64{9})
+	pairs := v.pairAll(2)
+	if len(pairs) != 1 {
+		t.Fatalf("paired %d", len(pairs))
+	}
+	if len(v.lights) != 0 {
+		t.Fatalf("residual below Lmin must not re-insert, lights=%v", v.lights)
+	}
+}
+
+func TestPairAllResidualReinserted(t *testing.T) {
+	// Light 10 takes offer 3, residual 7 >= Lmin 2 → re-insert; then the
+	// residual absorbs offer 2 as well.
+	v := mkLists([]float64{10}, []float64{3, 2})
+	pairs := v.pairAll(2)
+	if len(pairs) != 2 {
+		t.Fatalf("paired %d, want 2 (residual reused)", len(pairs))
+	}
+	if pairs[0].to != pairs[1].to {
+		t.Error("both offers should land on the same light node via residual")
+	}
+	// Final residual 10-3-2 = 5 >= 2 → still listed.
+	if len(v.lights) != 1 || v.lights[0].deficit != 5 {
+		t.Fatalf("final lights = %+v", v.lights)
+	}
+}
+
+func TestPairAllUnpairedPropagate(t *testing.T) {
+	// Offer 50 fits nobody; offer 4 fits light 5.
+	v := mkLists([]float64{5}, []float64{50, 4})
+	pairs := v.pairAll(1)
+	if len(pairs) != 1 || pairs[0].offer.load != 4 {
+		t.Fatalf("pairs = %+v", pairs)
+	}
+	if len(v.offers) != 1 || v.offers[0].load != 50 {
+		t.Fatalf("unpaired offers = %+v", v.offers)
+	}
+}
+
+func TestPairAllEmptyLists(t *testing.T) {
+	v := mkLists(nil, nil)
+	if pairs := v.pairAll(1); len(pairs) != 0 {
+		t.Fatal("empty lists should pair nothing")
+	}
+	v = mkLists([]float64{3, 4}, nil)
+	if pairs := v.pairAll(1); len(pairs) != 0 || len(v.lights) != 2 {
+		t.Fatal("no offers: lights must remain")
+	}
+	v = mkLists(nil, []float64{3, 4})
+	if pairs := v.pairAll(1); len(pairs) != 0 || len(v.offers) != 2 {
+		t.Fatal("no lights: offers must remain")
+	}
+}
+
+func TestPairAllKeepsOffersSorted(t *testing.T) {
+	v := mkLists([]float64{1}, []float64{9, 7, 5, 3})
+	v.pairAll(1)
+	for i := 1; i < len(v.offers); i++ {
+		if v.offers[i].load < v.offers[i-1].load {
+			t.Fatalf("offers no longer ascending: %+v", v.offers)
+		}
+	}
+}
+
+func TestPairAllExactFit(t *testing.T) {
+	// Deficit exactly equals load: pair, residual 0, never re-inserted.
+	v := mkLists([]float64{7}, []float64{7})
+	pairs := v.pairAll(0)
+	if len(pairs) != 1 || len(v.lights) != 0 || len(v.offers) != 0 {
+		t.Fatalf("exact fit mishandled: pairs=%d lights=%d offers=%d",
+			len(pairs), len(v.lights), len(v.offers))
+	}
+}
+
+func TestInsertLightKeepsOrder(t *testing.T) {
+	v := mkLists([]float64{2, 8}, nil)
+	v.insertLight(lightEntry{deficit: 5, node: mkNode(9)})
+	v.insertLight(lightEntry{deficit: 1, node: mkNode(10)})
+	v.insertLight(lightEntry{deficit: 99, node: mkNode(11)})
+	want := []float64{1, 2, 5, 8, 99}
+	for i, w := range want {
+		if v.lights[i].deficit != w {
+			t.Fatalf("lights order: %+v", v.lights)
+		}
+	}
+}
+
+func TestMergeAndSize(t *testing.T) {
+	a := mkLists([]float64{1}, []float64{2, 3})
+	b := mkLists([]float64{4, 5}, []float64{6})
+	a.merge(*b)
+	if a.size() != 6 {
+		t.Fatalf("size = %d, want 6", a.size())
+	}
+}
+
+func TestLBIMerge(t *testing.T) {
+	a := LBI{L: 10, C: 5, Lmin: 2, ok: true}
+	b := LBI{L: 20, C: 15, Lmin: 1, ok: true}
+	m := a.Merge(b)
+	if m.L != 30 || m.C != 20 || m.Lmin != 1 || !m.Valid() {
+		t.Fatalf("merge = %+v", m)
+	}
+	// Identity element.
+	if got := (LBI{}).Merge(a); got != a {
+		t.Fatalf("zero merge = %+v", got)
+	}
+	if got := a.Merge(LBI{}); got != a {
+		t.Fatalf("merge zero = %+v", got)
+	}
+	if (LBI{}).Valid() {
+		t.Fatal("zero LBI should be invalid")
+	}
+	// Commutative.
+	if x, y := a.Merge(b), b.Merge(a); x != y {
+		t.Fatal("merge not commutative")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{Epsilon: -0.1}).Validate(); err == nil {
+		t.Error("negative epsilon should fail")
+	}
+	if err := (Config{Mode: ProximityAware}).Validate(); err == nil {
+		t.Error("aware mode without mapper should fail")
+	}
+	if err := (Config{Mode: Mode(7)}).Validate(); err == nil {
+		t.Error("unknown mode should fail")
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Errorf("default config should validate: %v", err)
+	}
+}
+
+func TestThresholdDefault(t *testing.T) {
+	if (Config{}).threshold() != DefaultRendezvousThreshold {
+		t.Error("zero threshold should default to 30")
+	}
+	if (Config{RendezvousThreshold: 5}).threshold() != 5 {
+		t.Error("explicit threshold ignored")
+	}
+	if (Config{RendezvousThreshold: -1}).threshold() != -1 {
+		t.Error("negative (root-only) threshold ignored")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if ProximityAware.String() != "proximity-aware" || ProximityIgnorant.String() != "proximity-ignorant" {
+		t.Error("mode strings wrong")
+	}
+	if Heavy.String() != "heavy" || Light.String() != "light" || Neutral.String() != "neutral" {
+		t.Error("class strings wrong")
+	}
+}

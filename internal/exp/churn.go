@@ -1,0 +1,120 @@
+package exp
+
+import (
+	"fmt"
+
+	"p2plb/internal/core"
+	"p2plb/internal/daemon"
+	"p2plb/internal/protocol"
+	"p2plb/internal/sim"
+	"p2plb/internal/workload"
+)
+
+// ChurnRow is one churn-rate operating point of the robustness
+// experiment: `Churn` nodes crash and `Churn` fresh nodes join before
+// every balancing round.
+type ChurnRow struct {
+	Churn int // node replacements per round
+	// Rounds completed and how many of them failed outright.
+	Rounds, Failed int
+	// TimedOutChildren sums the per-round epochs that proceeded on
+	// partial data, and AbortedTransfers the pairings lost to dead
+	// endpoints — the protocol's damage report.
+	TimedOutChildren int
+	AbortedTransfers int
+	// MeanHeavyBefore/MeanHeavyAfter average the per-round censuses
+	// over the steady-state rounds (the first round excluded).
+	MeanHeavyBefore float64
+	MeanHeavyAfter  float64
+	// MovedPerRound is the steady-state mean moved load.
+	MovedPerRound float64
+}
+
+// ChurnSensitivity measures how the balancer behaves as membership
+// churn grows — the robustness question the paper leaves to future work
+// (§5.1). For each rate it runs `rounds` message-level rounds on a
+// fresh system where `rate` random nodes crash and `rate` join right
+// before every round; crashes are visible to the round itself only
+// through the tree's stale state (repair runs before each round, so the
+// stress is on loads and membership, with the in-round crash path
+// covered separately by the protocol tests).
+func ChurnSensitivity(seed int64, nodes int, rates []int, rounds int) ([]ChurnRow, error) {
+	if rounds < 2 {
+		return nil, fmt.Errorf("exp: need at least two rounds")
+	}
+	var out []ChurnRow
+	for _, rate := range rates {
+		if rate < 0 || rate >= nodes/2 {
+			return nil, fmt.Errorf("exp: churn rate %d out of range for %d nodes", rate, nodes)
+		}
+		s := DefaultSetup(seed)
+		s.Nodes = nodes
+		inst, err := Build(s)
+		if err != nil {
+			return nil, err
+		}
+		// Build fills defaults on its own copy; the churn hook needs
+		// the capacity profile too.
+		profile := s.Profile
+		if profile == nil {
+			profile = workload.GnutellaProfile()
+		}
+		const interval = sim.Time(5000)
+		rate := rate
+		d, err := daemon.New(inst.Ring, inst.Tree, daemon.Config{
+			RoundInterval: 5000,
+			Protocol:      protocol.Config{Core: core.Config{Epsilon: s.Epsilon}},
+			BeforeRound: func() {
+				alive := inst.Ring.AliveNodes()
+				for i := 0; i < rate && len(alive) > i; i++ {
+					inst.Ring.RemoveNode(alive[inst.Engine.Rand().Intn(len(alive))])
+					alive = inst.Ring.AliveNodes()
+				}
+				for i := 0; i < rate; i++ {
+					n := inst.Ring.AddNode(-1, profile.Sample(inst.Engine.Rand()), s.VSPerNode)
+					// Fresh nodes arrive with freshly loaded regions: the
+					// ring redistributed the dead nodes' loads to ring
+					// successors; joiners start with whatever falls into
+					// their new regions (zero until objects/loads move),
+					// which is exactly the imbalance the next round fixes.
+					_ = n
+				}
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := d.Start(); err != nil {
+			return nil, err
+		}
+		inst.Engine.RunUntil(interval*sim.Time(rounds) + interval/2)
+		d.Stop()
+		inst.Engine.Run()
+
+		row := ChurnRow{Churn: rate}
+		steady := 0
+		for i, rec := range d.History() {
+			row.Rounds++
+			if rec.Err != nil {
+				row.Failed++
+				continue
+			}
+			row.TimedOutChildren += rec.Result.TimedOutChildren
+			row.AbortedTransfers += rec.Result.AbortedTransfers
+			if i == 0 {
+				continue
+			}
+			steady++
+			row.MeanHeavyBefore += float64(rec.Result.HeavyBefore)
+			row.MeanHeavyAfter += float64(rec.Result.HeavyAfter)
+			row.MovedPerRound += rec.Result.MovedLoad
+		}
+		if steady > 0 {
+			row.MeanHeavyBefore /= float64(steady)
+			row.MeanHeavyAfter /= float64(steady)
+			row.MovedPerRound /= float64(steady)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}

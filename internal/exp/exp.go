@@ -1,0 +1,209 @@
+// Package exp is the experiment harness: it assembles rings, trees,
+// topologies, workloads and balancers into the exact configurations the
+// paper evaluates (§5.1), and drives the runs behind every figure.
+// Both cmd/lbsim and the repository's benchmarks call into it, so the
+// printed tables and the benchmark numbers come from the same code.
+//
+// The paper's setup, reproduced by DefaultSetup: a Chord overlay of
+// 4096 nodes, each initially hosting 5 virtual servers, over a 32-bit
+// identifier space; a K-nary tree with K = 2 (results for K = 8 are
+// similar); Gaussian or Pareto(α=1.5) virtual-server loads; the
+// Gnutella-like capacity profile; 15 landmark nodes; and the ts5k-large
+// / ts5k-small transit-stub topologies (10 graph instances each).
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"p2plb/internal/chord"
+	"p2plb/internal/core"
+	"p2plb/internal/ktree"
+	"p2plb/internal/proximity"
+	"p2plb/internal/sim"
+	"p2plb/internal/topology"
+	"p2plb/internal/workload"
+)
+
+// Setup parameterizes one experiment instance.
+type Setup struct {
+	Nodes     int // DHT nodes (paper: 4096)
+	VSPerNode int // initial virtual servers per node (paper: 5)
+	K         int // K-nary tree degree (paper: 2, also 8)
+	Seed      int64
+
+	// Mu is the mean of the total system load; Sigma its standard
+	// deviation (Gaussian model). Zero values default to Nodes·100 and
+	// Mu/200 respectively.
+	Mu, Sigma float64
+	// Pareto selects the Pareto(α=1.5) load model instead of Gaussian.
+	Pareto bool
+
+	Profile workload.Profile // nil → Gnutella-like profile
+
+	Epsilon             float64 // target slack (default 0.05)
+	RendezvousThreshold int     // 0 → paper default 30
+
+	// Topology embeds the overlay in an underlay; nil runs without one
+	// (constant unit latency — Figures 4-6 do not need an underlay).
+	Topology *topology.Params
+	// Landmarks and HilbertBits configure the proximity mapping
+	// (defaults 15 and 2). Only used when Topology is set.
+	Landmarks   int
+	HilbertBits int
+	// QuantileGrid places landmark-space cell edges at distance
+	// quantiles instead of the paper's equal-size cells; kept as an
+	// ablation (see DESIGN.md) — equal-size cells with bits=4 perform
+	// better end to end.
+	QuantileGrid bool
+
+	Mode core.Mode
+}
+
+// DefaultSetup returns the paper's baseline configuration (no underlay).
+func DefaultSetup(seed int64) Setup {
+	return Setup{Nodes: 4096, VSPerNode: 5, K: 2, Seed: seed, Epsilon: 0.05}
+}
+
+func (s *Setup) fill() {
+	if s.Mu == 0 {
+		s.Mu = float64(s.Nodes) * 100
+	}
+	if s.Sigma == 0 {
+		s.Sigma = s.Mu / 200
+	}
+	if s.Profile == nil {
+		s.Profile = workload.GnutellaProfile()
+	}
+	if s.Landmarks == 0 {
+		s.Landmarks = proximity.DefaultLandmarkCount
+	}
+	if s.HilbertBits == 0 {
+		s.HilbertBits = proximity.DefaultBitsPerDimension
+	}
+	if s.Epsilon == 0 {
+		s.Epsilon = 0.05
+	}
+	if s.K == 0 {
+		s.K = 2
+	}
+}
+
+// Instance is a fully assembled experiment: ring, tree, balancer and
+// (optionally) the underlay pieces.
+type Instance struct {
+	Setup    Setup
+	Engine   *sim.Engine
+	Ring     *chord.Ring
+	Tree     *ktree.Tree
+	Balancer *core.Balancer
+
+	Graph *topology.Graph // nil without an underlay
+	// HopDistances answers transfer-distance queries in the paper's hop
+	// convention (figures); LatDistances answers latency queries used
+	// for message timing and landmark measurement.
+	HopDistances *topology.Distances
+	LatDistances *topology.Distances
+	Mapper       *proximity.Mapper // nil unless proximity-aware
+}
+
+// Build assembles an Instance: generate the underlay (if any), create
+// the ring with capacities from the profile, draw virtual-server loads
+// from the load model using each VS's actual identifier-space fraction,
+// build the K-nary tree, choose landmarks, and wire up the balancer.
+func Build(s Setup) (*Instance, error) {
+	s.fill()
+	if s.Nodes < 1 || s.VSPerNode < 1 {
+		return nil, fmt.Errorf("exp: need at least one node and one VS per node")
+	}
+	inst := &Instance{Setup: s}
+	inst.Engine = sim.NewEngine(s.Seed)
+
+	ringCfg := chord.Config{}
+	var underlays []topology.NodeID
+	if s.Topology != nil {
+		p := *s.Topology
+		p.Seed = s.Seed
+		g, err := topology.Generate(p)
+		if err != nil {
+			return nil, err
+		}
+		if len(g.StubNodes()) < s.Nodes {
+			return nil, fmt.Errorf("exp: topology has %d stub nodes, need %d",
+				len(g.StubNodes()), s.Nodes)
+		}
+		inst.Graph = g
+		inst.HopDistances = topology.NewDistances(g)
+		inst.LatDistances = topology.NewDistancesMetric(g, topology.LatencyMetric)
+		ringCfg.Latency = chord.TopologyLatency(inst.LatDistances)
+		underlays = g.SampleStubNodes(inst.Engine.Rand(), s.Nodes)
+	}
+
+	inst.Ring = chord.NewRing(inst.Engine, ringCfg)
+	for i := 0; i < s.Nodes; i++ {
+		u := topology.NodeID(-1)
+		if underlays != nil {
+			u = underlays[i]
+		}
+		inst.Ring.AddNode(u, s.Profile.Sample(inst.Engine.Rand()), s.VSPerNode)
+	}
+
+	var model workload.LoadModel
+	if s.Pareto {
+		model = workload.Pareto{Alpha: 1.5, Mu: s.Mu}
+	} else {
+		model = workload.Gaussian{Mu: s.Mu, Sigma: s.Sigma}
+	}
+	for _, vs := range inst.Ring.VServers() {
+		vs.Load = model.Load(inst.Engine.Rand(), inst.Ring.RegionOf(vs).Fraction())
+	}
+
+	tree, err := ktree.New(inst.Ring, s.K)
+	if err != nil {
+		return nil, err
+	}
+	if err := tree.Build(); err != nil {
+		return nil, err
+	}
+	inst.Tree = tree
+
+	cfg := core.Config{
+		Mode:                s.Mode,
+		Epsilon:             s.Epsilon,
+		RendezvousThreshold: s.RendezvousThreshold,
+	}
+	if inst.Graph != nil {
+		hops := inst.HopDistances
+		cfg.TransferCost = func(from, to *chord.Node) int {
+			if from == to || from.Underlay == to.Underlay {
+				return 0
+			}
+			return int(hops.Between(from.Underlay, to.Underlay))
+		}
+	}
+	if s.Mode == core.ProximityAware {
+		if inst.Graph == nil {
+			return nil, fmt.Errorf("exp: proximity-aware mode requires a topology")
+		}
+		lm, err := proximity.ChooseSpread(inst.Graph, inst.LatDistances,
+			rand.New(rand.NewSource(s.Seed+7919)), s.Landmarks)
+		if err != nil {
+			return nil, err
+		}
+		inst.Mapper, err = proximity.NewMapper(lm, s.HilbertBits)
+		if err != nil {
+			return nil, err
+		}
+		if s.QuantileGrid {
+			if err := inst.Mapper.UseQuantileGrid(underlays); err != nil {
+				return nil, err
+			}
+		}
+		cfg.Mapper = inst.Mapper
+	}
+	inst.Balancer, err = core.NewBalancer(inst.Ring, tree, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return inst, nil
+}

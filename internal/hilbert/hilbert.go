@@ -1,0 +1,162 @@
+// Package hilbert implements an m-dimensional Hilbert space-filling curve.
+//
+// The load balancer uses it to map m-dimensional landmark vectors (the
+// proximity coordinates of §4 of the paper) into the one-dimensional DHT
+// identifier space while preserving locality: points close in the
+// m-dimensional landmark space receive nearby curve indices ("Hilbert
+// numbers"), so the VSA information of physically close nodes lands close
+// together on the ring.
+//
+// The conversion uses Skilling's transpose algorithm ("Programming the
+// Hilbert curve", AIP Conf. Proc. 707, 2004), which encodes/decodes in
+// O(dims·bits) with no tables, for any number of dimensions.
+package hilbert
+
+import "fmt"
+
+// Curve is an m-dimensional Hilbert curve over a grid with 2^bits cells
+// per dimension. The curve index occupies dims·bits bits.
+type Curve struct {
+	dims int
+	bits int
+}
+
+// New returns a Hilbert curve over dims dimensions with bits bits of
+// resolution per dimension. dims·bits must fit in a uint64 index and both
+// must be positive.
+func New(dims, bits int) (*Curve, error) {
+	if dims < 1 {
+		return nil, fmt.Errorf("hilbert: dims %d < 1", dims)
+	}
+	if bits < 1 {
+		return nil, fmt.Errorf("hilbert: bits %d < 1", bits)
+	}
+	if dims*bits > 64 {
+		return nil, fmt.Errorf("hilbert: dims*bits = %d exceeds 64-bit index", dims*bits)
+	}
+	return &Curve{dims: dims, bits: bits}, nil
+}
+
+// Dims returns the number of dimensions.
+func (c *Curve) Dims() int { return c.dims }
+
+// Bits returns the per-dimension resolution in bits.
+func (c *Curve) Bits() int { return c.bits }
+
+// IndexBits returns the total number of bits in a curve index.
+func (c *Curve) IndexBits() int { return c.dims * c.bits }
+
+// MaxCoord returns the largest representable coordinate, 2^bits − 1.
+func (c *Curve) MaxCoord() uint32 { return uint32(1)<<uint(c.bits) - 1 }
+
+// Encode maps grid coordinates (len == dims, each < 2^bits) to the
+// Hilbert curve index. It panics if the slice length or a coordinate is
+// out of range — both indicate a programming error at the call site.
+func (c *Curve) Encode(coords []uint32) uint64 {
+	if len(coords) != c.dims {
+		panic(fmt.Sprintf("hilbert: Encode got %d coords, curve has %d dims", len(coords), c.dims))
+	}
+	x := make([]uint32, c.dims)
+	for i, v := range coords {
+		if v > c.MaxCoord() {
+			panic(fmt.Sprintf("hilbert: coordinate %d out of range (max %d)", v, c.MaxCoord()))
+		}
+		x[i] = v
+	}
+	c.axesToTranspose(x)
+	return c.interleave(x)
+}
+
+// Decode maps a Hilbert curve index back to grid coordinates.
+// It panics if index has bits above IndexBits.
+func (c *Curve) Decode(index uint64) []uint32 {
+	if c.IndexBits() < 64 && index>>uint(c.IndexBits()) != 0 {
+		panic(fmt.Sprintf("hilbert: index %d out of range for %d-bit curve", index, c.IndexBits()))
+	}
+	x := c.deinterleave(index)
+	c.transposeToAxes(x)
+	return x
+}
+
+// axesToTranspose converts coordinates in place into Skilling's
+// "transpose" form of the Hilbert index.
+func (c *Curve) axesToTranspose(x []uint32) {
+	n := c.dims
+	m := uint32(1) << uint(c.bits-1)
+	// Inverse undo.
+	for q := m; q > 1; q >>= 1 {
+		p := q - 1
+		for i := 0; i < n; i++ {
+			if x[i]&q != 0 {
+				x[0] ^= p
+			} else {
+				t := (x[0] ^ x[i]) & p
+				x[0] ^= t
+				x[i] ^= t
+			}
+		}
+	}
+	// Gray encode.
+	for i := 1; i < n; i++ {
+		x[i] ^= x[i-1]
+	}
+	var t uint32
+	for q := m; q > 1; q >>= 1 {
+		if x[n-1]&q != 0 {
+			t ^= q - 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		x[i] ^= t
+	}
+}
+
+// transposeToAxes converts the transpose form in place back into
+// coordinates.
+func (c *Curve) transposeToAxes(x []uint32) {
+	n := c.dims
+	limit := uint32(2) << uint(c.bits-1)
+	// Gray decode by H ^ (H/2).
+	t := x[n-1] >> 1
+	for i := n - 1; i > 0; i-- {
+		x[i] ^= x[i-1]
+	}
+	x[0] ^= t
+	// Undo excess work.
+	for q := uint32(2); q != limit; q <<= 1 {
+		p := q - 1
+		for i := n - 1; i >= 0; i-- {
+			if x[i]&q != 0 {
+				x[0] ^= p
+			} else {
+				t := (x[0] ^ x[i]) & p
+				x[0] ^= t
+				x[i] ^= t
+			}
+		}
+	}
+}
+
+// interleave packs the transpose form into a single index: the index's
+// most-significant bit group is the top bit of each dimension in order.
+func (c *Curve) interleave(x []uint32) uint64 {
+	var h uint64
+	for j := c.bits - 1; j >= 0; j-- {
+		for i := 0; i < c.dims; i++ {
+			h = h<<1 | uint64(x[i]>>uint(j)&1)
+		}
+	}
+	return h
+}
+
+// deinterleave unpacks a single index into transpose form.
+func (c *Curve) deinterleave(h uint64) []uint32 {
+	x := make([]uint32, c.dims)
+	for j := 0; j < c.bits; j++ {
+		for i := 0; i < c.dims; i++ {
+			shift := uint((c.bits-1-j)*c.dims + (c.dims - 1 - i))
+			x[i] = x[i]<<1 | uint32(h>>shift&1)
+		}
+	}
+	return x
+}

@@ -1,0 +1,226 @@
+package hilbert
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 4); err == nil {
+		t.Error("dims=0 should fail")
+	}
+	if _, err := New(4, 0); err == nil {
+		t.Error("bits=0 should fail")
+	}
+	if _, err := New(13, 5); err == nil {
+		t.Error("65-bit index should fail")
+	}
+	c, err := New(16, 4)
+	if err != nil {
+		t.Fatalf("64-bit index should be allowed: %v", err)
+	}
+	if c.IndexBits() != 64 || c.Dims() != 16 || c.Bits() != 4 || c.MaxCoord() != 15 {
+		t.Fatalf("curve accessors wrong: %+v", c)
+	}
+}
+
+func TestIndexZeroIsOrigin(t *testing.T) {
+	for _, dims := range []int{1, 2, 3, 5, 15} {
+		for _, bits := range []int{1, 2, 4} {
+			if dims*bits > 64 {
+				continue
+			}
+			c, _ := New(dims, bits)
+			coords := c.Decode(0)
+			for i, v := range coords {
+				if v != 0 {
+					t.Errorf("dims=%d bits=%d: Decode(0)[%d] = %d, want 0", dims, bits, i, v)
+				}
+			}
+			if c.Encode(coords) != 0 {
+				t.Errorf("dims=%d bits=%d: Encode(origin) != 0", dims, bits)
+			}
+		}
+	}
+}
+
+func TestRoundTripSmallCurvesExhaustive(t *testing.T) {
+	// For every index of several small curves: Decode then Encode must be
+	// the identity, and all decoded points must be distinct (bijectivity).
+	configs := []struct{ dims, bits int }{
+		{1, 5}, {2, 1}, {2, 4}, {3, 3}, {4, 2}, {5, 2}, {15, 1},
+	}
+	for _, cfg := range configs {
+		c, err := New(cfg.dims, cfg.bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := uint64(1) << uint(c.IndexBits())
+		seen := make(map[string]bool, total)
+		for h := uint64(0); h < total; h++ {
+			coords := c.Decode(h)
+			if got := c.Encode(coords); got != h {
+				t.Fatalf("dims=%d bits=%d: Encode(Decode(%d)) = %d", cfg.dims, cfg.bits, h, got)
+			}
+			key := ""
+			for _, v := range coords {
+				if v > c.MaxCoord() {
+					t.Fatalf("coordinate %d out of range", v)
+				}
+				key += string(rune(v)) + ","
+			}
+			if seen[key] {
+				t.Fatalf("dims=%d bits=%d: point %v visited twice", cfg.dims, cfg.bits, coords)
+			}
+			seen[key] = true
+		}
+		if uint64(len(seen)) != total {
+			t.Fatalf("dims=%d bits=%d: visited %d points, want %d", cfg.dims, cfg.bits, len(seen), total)
+		}
+	}
+}
+
+func TestAdjacency(t *testing.T) {
+	// The defining Hilbert property: consecutive indices decode to grid
+	// points at L1 distance exactly 1.
+	configs := []struct{ dims, bits int }{
+		{2, 4}, {3, 3}, {4, 3}, {15, 2}, {15, 1}, {7, 2},
+	}
+	for _, cfg := range configs {
+		c, err := New(cfg.dims, cfg.bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := uint64(1) << uint(c.IndexBits())
+		limit := total
+		step := uint64(1)
+		if total > 1<<16 {
+			// Sample windows instead of walking the whole curve.
+			limit = 1 << 16
+			step = total / limit
+			if step == 0 {
+				step = 1
+			}
+		}
+		prev := c.Decode(0)
+		for h := uint64(1); h < limit; h++ {
+			cur := c.Decode(h)
+			if d := l1(prev, cur); d != 1 {
+				t.Fatalf("dims=%d bits=%d: L1(Decode(%d),Decode(%d)) = %d, want 1",
+					cfg.dims, cfg.bits, h-1, h, d)
+			}
+			prev = cur
+		}
+		// Also check scattered windows for large curves.
+		if step > 1 {
+			rng := rand.New(rand.NewSource(42))
+			for trial := 0; trial < 1000; trial++ {
+				h := rng.Uint64() % (total - 1)
+				a, b := c.Decode(h), c.Decode(h+1)
+				if d := l1(a, b); d != 1 {
+					t.Fatalf("dims=%d bits=%d: L1 at random h=%d is %d", cfg.dims, cfg.bits, h, d)
+				}
+			}
+		}
+	}
+}
+
+func l1(a, b []uint32) int {
+	d := 0
+	for i := range a {
+		if a[i] > b[i] {
+			d += int(a[i] - b[i])
+		} else {
+			d += int(b[i] - a[i])
+		}
+	}
+	return d
+}
+
+func TestRoundTripProperty15D(t *testing.T) {
+	// The production configuration: 15 landmarks, 2 bits each (2^30 grids).
+	c, err := New(15, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw [15]uint8) bool {
+		coords := make([]uint32, 15)
+		for i, v := range raw {
+			coords[i] = uint32(v) & c.MaxCoord()
+		}
+		h := c.Encode(coords)
+		back := c.Decode(h)
+		for i := range coords {
+			if back[i] != coords[i] {
+				return false
+			}
+		}
+		return h < 1<<30
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocalityPreservation(t *testing.T) {
+	// Nearby points in the grid should receive much closer indices than
+	// random point pairs on average. This is the property the paper's
+	// proximity mapping depends on.
+	c, _ := New(3, 5)
+	rng := rand.New(rand.NewSource(9))
+	max := c.MaxCoord()
+	var nearSum, farSum float64
+	trials := 5000
+	for i := 0; i < trials; i++ {
+		p := []uint32{uint32(rng.Intn(int(max))), uint32(rng.Intn(int(max))), uint32(rng.Intn(int(max)))}
+		q := append([]uint32(nil), p...)
+		q[rng.Intn(3)]++ // L1 neighbor
+		r := []uint32{uint32(rng.Intn(int(max + 1))), uint32(rng.Intn(int(max + 1))), uint32(rng.Intn(int(max + 1)))}
+		hp, hq, hr := c.Encode(p), c.Encode(q), c.Encode(r)
+		nearSum += absDiff(hp, hq)
+		farSum += absDiff(hp, hr)
+	}
+	if nearSum*20 > farSum {
+		t.Errorf("locality weak: near mean %.1f vs far mean %.1f",
+			nearSum/float64(trials), farSum/float64(trials))
+	}
+}
+
+func absDiff(a, b uint64) float64 {
+	if a > b {
+		return float64(a - b)
+	}
+	return float64(b - a)
+}
+
+func TestEncodePanics(t *testing.T) {
+	c, _ := New(2, 2)
+	assertPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s should panic", name)
+			}
+		}()
+		fn()
+	}
+	assertPanic("wrong dims", func() { c.Encode([]uint32{1}) })
+	assertPanic("coord out of range", func() { c.Encode([]uint32{4, 0}) })
+	assertPanic("index out of range", func() { c.Decode(1 << 10) })
+}
+
+func BenchmarkEncode15D2B(b *testing.B) {
+	c, _ := New(15, 2)
+	coords := []uint32{0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Encode(coords)
+	}
+}
+
+func BenchmarkDecode15D2B(b *testing.B) {
+	c, _ := New(15, 2)
+	for i := 0; i < b.N; i++ {
+		c.Decode(uint64(i) & (1<<30 - 1))
+	}
+}

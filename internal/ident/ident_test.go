@@ -1,0 +1,359 @@
+package ident
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistBasics(t *testing.T) {
+	cases := []struct {
+		a, b ID
+		want uint64
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{1, 0, SpaceSize - 1},
+		{0xffffffff, 0, 1},
+		{0xffffffff, 1, 2},
+		{10, 10, 0},
+		{0x80000000, 0, 0x80000000},
+	}
+	for _, c := range cases {
+		if got := c.a.Dist(c.b); got != c.want {
+			t.Errorf("Dist(%s,%s) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDistAntisymmetry(t *testing.T) {
+	// For distinct ids, Dist(a,b) + Dist(b,a) == SpaceSize.
+	f := func(a, b uint32) bool {
+		x, y := ID(a), ID(b)
+		if x == y {
+			return x.Dist(y) == 0
+		}
+		return x.Dist(y)+y.Dist(x) == SpaceSize
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddDistRoundTrip(t *testing.T) {
+	f := func(a uint32, d uint32) bool {
+		id := ID(a)
+		return id.Dist(id.Add(uint64(d))) == uint64(d)%SpaceSize
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBetween(t *testing.T) {
+	cases := []struct {
+		a, start, end ID
+		want          bool
+	}{
+		{5, 0, 10, true},         // inside
+		{10, 0, 10, true},        // end inclusive
+		{0, 0, 10, false},        // start exclusive
+		{11, 0, 10, false},       // outside
+		{0, 0xfffffff0, 5, true}, // wrap
+		{0xfffffff1, 0xfffffff0, 5, true},
+		{0xffffffef, 0xfffffff0, 5, false},
+		{7, 7, 7, true}, // full circle when start == end
+		{3, 7, 7, true},
+	}
+	for _, c := range cases {
+		if got := c.a.Between(c.start, c.end); got != c.want {
+			t.Errorf("%s.Between(%s,%s) = %v, want %v", c.a, c.start, c.end, got, c.want)
+		}
+	}
+}
+
+func TestOwnershipArc(t *testing.T) {
+	// (pred, self] as a region must contain self, not pred, and have
+	// width Dist(pred, self).
+	f := func(p, s uint32) bool {
+		pred, self := ID(p), ID(s)
+		r := OwnershipArc(pred, self)
+		if pred == self {
+			return r.IsFull() && r.Contains(self)
+		}
+		return r.Contains(self) && !r.Contains(pred) && r.Width == pred.Dist(self)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOwnershipArcMatchesBetween(t *testing.T) {
+	// Region membership must agree with the Chord Between ownership test.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		pred, self, k := ID(rng.Uint32()), ID(rng.Uint32()), ID(rng.Uint32())
+		r := OwnershipArc(pred, self)
+		if got, want := r.Contains(k), k.Between(pred, self); got != want {
+			t.Fatalf("OwnershipArc(%s,%s).Contains(%s) = %v, Between = %v",
+				pred, self, k, got, want)
+		}
+	}
+}
+
+func TestRegionContains(t *testing.T) {
+	r := Region{Start: 0xfffffffe, Width: 4} // {fe, ff, 0, 1}
+	for _, id := range []ID{0xfffffffe, 0xffffffff, 0, 1} {
+		if !r.Contains(id) {
+			t.Errorf("%v should contain %s", r, id)
+		}
+	}
+	for _, id := range []ID{0xfffffffd, 2, 0x80000000} {
+		if r.Contains(id) {
+			t.Errorf("%v should not contain %s", r, id)
+		}
+	}
+}
+
+func TestFullRegion(t *testing.T) {
+	r := Full()
+	if !r.IsFull() || r.IsEmpty() {
+		t.Fatalf("Full() misreported: %+v", r)
+	}
+	for _, id := range []ID{0, 1, 0x7fffffff, 0xffffffff} {
+		if !r.Contains(id) {
+			t.Errorf("full region should contain %s", id)
+		}
+	}
+	if got := r.Center(); got != 0x80000000 {
+		t.Errorf("Full().Center() = %s, want 80000000", got)
+	}
+}
+
+func TestEmptyRegion(t *testing.T) {
+	r := Arc(5, 5)
+	if !r.IsEmpty() {
+		t.Fatalf("Arc(5,5) should be empty, got %+v", r)
+	}
+	if r.Contains(5) {
+		t.Error("empty region should contain nothing")
+	}
+	if !Full().Covers(r) || !r.Covers(r) {
+		t.Error("empty region must be covered by anything")
+	}
+}
+
+func TestCovers(t *testing.T) {
+	outer := Region{Start: 100, Width: 50} // [100,150)
+	cases := []struct {
+		inner Region
+		want  bool
+	}{
+		{Region{100, 50}, true},  // identical
+		{Region{100, 10}, true},  // prefix
+		{Region{140, 10}, true},  // suffix
+		{Region{120, 20}, true},  // middle
+		{Region{99, 10}, false},  // starts before
+		{Region{145, 10}, false}, // ends after
+		{Region{200, 10}, false}, // disjoint
+		{Region{100, 51}, false}, // wider
+	}
+	for _, c := range cases {
+		if got := outer.Covers(c.inner); got != c.want {
+			t.Errorf("%v.Covers(%v) = %v, want %v", outer, c.inner, got, c.want)
+		}
+	}
+	// Wrap-around outer region.
+	wrap := Region{Start: 0xfffffff0, Width: 0x20} // [...f0, 0x10)
+	if !wrap.Covers(Region{Start: 0xfffffff8, Width: 0x10}) {
+		t.Error("wrap-around cover failed")
+	}
+	if wrap.Covers(Region{Start: 0x8, Width: 0x10}) {
+		t.Error("wrap-around cover should fail past end")
+	}
+}
+
+func TestCoversImpliesContains(t *testing.T) {
+	// If r covers s then every sampled point of s is in r.
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		r := Region{Start: ID(rng.Uint32()), Width: uint64(rng.Uint32())}
+		s := Region{Start: ID(rng.Uint32()), Width: uint64(rng.Uint32()) % (r.Width + 1)}
+		if !r.Covers(s) || s.IsEmpty() {
+			continue
+		}
+		for j := 0; j < 8; j++ {
+			p := s.Start.Add(uint64(rng.Int63()) % s.Width)
+			if !r.Contains(p) {
+				t.Fatalf("%v covers %v but misses point %s", r, s, p)
+			}
+		}
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	a := Region{Start: 10, Width: 10} // [10,20)
+	cases := []struct {
+		b    Region
+		want bool
+	}{
+		{Region{15, 10}, true},
+		{Region{20, 10}, false}, // adjacent, half-open
+		{Region{0, 10}, false},  // adjacent before
+		{Region{0, 11}, true},
+		{Region{19, 1}, true},
+		{Region{5, 100}, true}, // engulfing
+		{Region{15, 0}, false}, // empty never overlaps
+	}
+	for _, c := range cases {
+		if got := a.Overlaps(c.b); got != c.want {
+			t.Errorf("%v.Overlaps(%v) = %v, want %v", a, c.b, got, c.want)
+		}
+		if got := c.b.Overlaps(a); got != c.want {
+			t.Errorf("Overlaps not symmetric for %v,%v", a, c.b)
+		}
+	}
+}
+
+func TestSplitInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 2000; trial++ {
+		r := Region{Start: ID(rng.Uint32()), Width: uint64(rng.Uint32())}
+		if trial == 0 {
+			r = Full()
+		}
+		k := 1 + rng.Intn(9)
+		parts := r.Split(k)
+		if len(parts) != k {
+			t.Fatalf("Split(%d) returned %d parts", k, len(parts))
+		}
+		var sum uint64
+		cursor := r.Start
+		for i, p := range parts {
+			if p.Start != cursor {
+				t.Fatalf("part %d starts at %s, want %s (region %v, k=%d)",
+					i, p.Start, cursor, r, k)
+			}
+			if !r.Covers(p) {
+				t.Fatalf("part %d (%v) not covered by %v", i, p, r)
+			}
+			sum += p.Width
+			cursor = cursor.Add(p.Width)
+		}
+		if sum != r.Width {
+			t.Fatalf("split widths sum to %d, want %d", sum, r.Width)
+		}
+		// Widths differ by at most one.
+		min, max := parts[0].Width, parts[0].Width
+		for _, p := range parts {
+			if p.Width < min {
+				min = p.Width
+			}
+			if p.Width > max {
+				max = p.Width
+			}
+		}
+		if max-min > 1 {
+			t.Fatalf("split widths uneven: min %d max %d", min, max)
+		}
+	}
+}
+
+func TestSplitDisjoint(t *testing.T) {
+	r := Full()
+	parts := r.Split(8)
+	for i := range parts {
+		for j := range parts {
+			if i != j && parts[i].Overlaps(parts[j]) {
+				t.Fatalf("parts %d and %d overlap: %v %v", i, j, parts[i], parts[j])
+			}
+		}
+	}
+}
+
+func TestSplitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Split(0) should panic")
+		}
+	}()
+	Full().Split(0)
+}
+
+func TestCenterInsideRegion(t *testing.T) {
+	f := func(start uint32, width uint32) bool {
+		r := Region{Start: ID(start), Width: uint64(width)}
+		if r.IsEmpty() {
+			return true
+		}
+		return r.Contains(r.Center())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if c := Full().Center(); !Full().Contains(c) {
+		t.Error("full region center not contained")
+	}
+}
+
+func TestFraction(t *testing.T) {
+	if got := Full().Fraction(); got != 1.0 {
+		t.Errorf("Full fraction = %v", got)
+	}
+	if got := (Region{0, SpaceSize / 4}).Fraction(); got != 0.25 {
+		t.Errorf("quarter fraction = %v", got)
+	}
+	if got := (Region{123, 0}).Fraction(); got != 0 {
+		t.Errorf("empty fraction = %v", got)
+	}
+}
+
+func TestHashDeterministicAndSpread(t *testing.T) {
+	if Hash([]byte("abc")) != Hash([]byte("abc")) {
+		t.Fatal("hash not deterministic")
+	}
+	if HashString("abc") != Hash([]byte("abc")) {
+		t.Fatal("HashString disagrees with Hash")
+	}
+	// Crude uniformity check: hash many keys, count per quadrant.
+	var quad [4]int
+	n := 40000
+	for i := 0; i < n; i++ {
+		h := HashString(string(rune(i)) + "key" + string(rune(i*7)))
+		quad[uint32(h)>>30]++
+	}
+	for q, c := range quad {
+		frac := float64(c) / float64(n)
+		if frac < 0.15 || frac > 0.35 {
+			t.Errorf("quadrant %d got fraction %.3f, want ~0.25", q, frac)
+		}
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	if s := Full().String(); s != "[full circle]" {
+		t.Errorf("Full().String() = %q", s)
+	}
+	if s := (Region{Start: 0, Width: 0}).String(); s != "[empty@00000000]" {
+		t.Errorf("empty String() = %q", s)
+	}
+	if s := (Region{Start: 0x10, Width: 0x10}).String(); s != "[00000010,00000020)" {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestFullRegionCoversEverything(t *testing.T) {
+	// Regression: a full region starting anywhere must cover any region.
+	full := Region{Start: 12346, Width: SpaceSize}
+	cases := []Region{
+		Full(),
+		{Start: 0, Width: SpaceSize},
+		{Start: 999, Width: 1},
+		{Start: 0xffffffff, Width: 2},
+	}
+	for _, s := range cases {
+		if !full.Covers(s) {
+			t.Errorf("full region should cover %v", s)
+		}
+	}
+}

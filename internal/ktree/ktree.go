@@ -1,0 +1,370 @@
+// Package ktree implements the self-organized, fully distributed K-nary
+// tree the paper builds on top of the DHT (§3.1) for load-balancing
+// information aggregation/dissemination and virtual server assignment.
+//
+// Every KT node is responsible for a region of the identifier space; the
+// root is responsible for the whole space. A KT node is planted in the
+// virtual server that owns the center point of its region (the center is
+// its DHT key). A KT node whose region is completely covered by its
+// hosting virtual server's region is a leaf; otherwise its region is
+// split into K equal parts, one per child, and the partitioning recurses.
+// Because leaves tile the identifier space and a leaf's region always
+// lies inside its hosting virtual server's region, every virtual server
+// hosts at least one leaf — the property the reporting protocols rely on
+// ("it is guaranteed that a KT leaf node will be planted in each virtual
+// server").
+//
+// The tree is soft state: Build constructs it from the current ring and
+// Repair reconciles an existing tree with a changed ring (churned
+// membership, transferred virtual servers), exactly like the paper's
+// periodic per-node region checks, heartbeats and pruning — compressed
+// into one deterministic sweep per maintenance round. Planting a KT node
+// costs one DHT lookup; in this simulator the lookup is resolved against
+// the consistent ring and charged an estimated O(log₂ V) hop cost (the
+// chord package demonstrates routed lookups match this).
+package ktree
+
+import (
+	"fmt"
+	"math"
+
+	"p2plb/internal/chord"
+	"p2plb/internal/ident"
+	"p2plb/internal/sim"
+)
+
+// Message kinds counted on the engine.
+const (
+	MsgPlant     = "ktree.plant"     // planting a KT node (one DHT lookup)
+	MsgHeartbeat = "ktree.heartbeat" // parent probing a child during repair
+)
+
+// Node is one KT node.
+type Node struct {
+	Region   ident.Region   // responsible portion of the identifier space
+	Key      ident.ID       // center of Region; the DHT key it is planted at
+	Host     *chord.VServer // virtual server currently hosting this KT node
+	Parent   *Node          // nil for the root
+	Children []*Node        // nil for leaves; length K with possible nil slots (empty child regions)
+	Depth    int            // root is 0
+}
+
+// IsLeaf reports whether the node is a leaf.
+func (n *Node) IsLeaf() bool { return n.Children == nil }
+
+// Tree is the distributed K-nary tree over a ring.
+type Tree struct {
+	ring       *chord.Ring
+	k          int
+	root       *Node
+	leavesByVS map[*chord.VServer][]*Node
+	numNodes   int
+	numLeaves  int
+	height     int
+}
+
+// New returns an unbuilt tree of branching factor k (k >= 2) over ring.
+func New(ring *chord.Ring, k int) (*Tree, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("ktree: branching factor %d < 2", k)
+	}
+	return &Tree{ring: ring, k: k, leavesByVS: make(map[*chord.VServer][]*Node)}, nil
+}
+
+// K returns the branching factor.
+func (t *Tree) K() int { return t.k }
+
+// Root returns the KT root node (nil before Build).
+func (t *Tree) Root() *Node { return t.root }
+
+// NumNodes returns the number of KT nodes.
+func (t *Tree) NumNodes() int { return t.numNodes }
+
+// NumLeaves returns the number of KT leaf nodes.
+func (t *Tree) NumLeaves() int { return t.numLeaves }
+
+// Height returns the maximum depth of any node (root = 0).
+func (t *Tree) Height() int { return t.height }
+
+// Ring returns the underlying ring.
+func (t *Tree) Ring() *chord.Ring { return t.ring }
+
+// LeavesOf returns the KT leaves planted in vs. The returned slice must
+// not be modified.
+func (t *Tree) LeavesOf(vs *chord.VServer) []*Node { return t.leavesByVS[vs] }
+
+// plantCost estimates the cost, in latency units, of the DHT lookup that
+// plants a KT node: O(log₂ V) overlay hops.
+func (t *Tree) plantCost() sim.Time {
+	v := t.ring.NumVServers()
+	if v < 2 {
+		return 1
+	}
+	return sim.Time(math.Ceil(math.Log2(float64(v))))
+}
+
+// Build constructs the tree from scratch against the current ring state.
+// Each planted node is charged one MsgPlant message.
+func (t *Tree) Build() error {
+	if t.ring.NumVServers() == 0 {
+		return fmt.Errorf("ktree: cannot build over an empty ring")
+	}
+	t.root = nil
+	t.leavesByVS = make(map[*chord.VServer][]*Node)
+	t.numNodes, t.numLeaves, t.height = 0, 0, 0
+	t.root = t.plant(ident.Full(), nil, 0)
+	t.grow(t.root)
+	return nil
+}
+
+// plant creates a KT node for region at the given depth and resolves its
+// hosting virtual server.
+func (t *Tree) plant(region ident.Region, parent *Node, depth int) *Node {
+	key := region.Center()
+	host := t.ring.Successor(key)
+	t.ring.Engine().CountMessage(MsgPlant, t.plantCost())
+	n := &Node{Region: region, Key: key, Host: host, Parent: parent, Depth: depth}
+	t.numNodes++
+	if depth > t.height {
+		t.height = depth
+	}
+	return n
+}
+
+// grow recursively expands n until every branch ends in a leaf.
+func (t *Tree) grow(n *Node) {
+	if t.coveredByHost(n) {
+		t.markLeaf(n)
+		return
+	}
+	parts := n.Region.Split(t.k)
+	n.Children = make([]*Node, t.k)
+	for i, part := range parts {
+		if part.IsEmpty() {
+			continue
+		}
+		child := t.plant(part, n, n.Depth+1)
+		n.Children[i] = child
+		t.grow(child)
+	}
+}
+
+func (t *Tree) coveredByHost(n *Node) bool {
+	return t.ring.RegionOf(n.Host).Covers(n.Region)
+}
+
+func (t *Tree) markLeaf(n *Node) {
+	n.Children = nil
+	t.numLeaves++
+	t.leavesByVS[n.Host] = append(t.leavesByVS[n.Host], n)
+}
+
+// Repair reconciles the tree with the current ring after membership or
+// hosting changes, in a single top-down sweep: every node's host is
+// re-resolved (a changed host is a re-plant), nodes whose region became
+// covered are collapsed to leaves (their subtrees pruned), and nodes
+// whose region is no longer covered grow fresh children. This mirrors
+// the paper's periodic checking: the tree reconstructs top-down in
+// O(log_K N) rounds after any failure. It returns the number of KT nodes
+// replanted, grown, or pruned, and charges one MsgHeartbeat per
+// parent-child probe plus one MsgPlant per re-planted or new node.
+func (t *Tree) Repair() (changes int, err error) {
+	if t.ring.NumVServers() == 0 {
+		return 0, fmt.Errorf("ktree: cannot repair over an empty ring")
+	}
+	if t.root == nil {
+		if err := t.Build(); err != nil {
+			return 0, err
+		}
+		return t.numNodes, nil
+	}
+	t.leavesByVS = make(map[*chord.VServer][]*Node)
+	t.numNodes, t.numLeaves, t.height = 0, 0, 0
+	changes = t.repairNode(t.root)
+	return changes, nil
+}
+
+func (t *Tree) repairNode(n *Node) (changes int) {
+	t.numNodes++
+	if n.Depth > t.height {
+		t.height = n.Depth
+	}
+	// Re-resolve the host: the old one may have left the ring or lost
+	// ownership of the key.
+	host := t.ring.Successor(n.Key)
+	if host != n.Host {
+		n.Host = host
+		t.ring.Engine().CountMessage(MsgPlant, t.plantCost())
+		changes++
+	}
+	if t.coveredByHost(n) {
+		if n.Children != nil {
+			changes += t.countSubtreeNodes(n) - 1 // pruned descendants
+			n.Children = nil
+		}
+		t.numLeaves++
+		t.leavesByVS[n.Host] = append(t.leavesByVS[n.Host], n)
+		return changes
+	}
+	if n.Children == nil {
+		// A former leaf whose region is no longer covered: grow.
+		before := t.numNodes
+		t.growRepair(n)
+		changes += t.numNodes - before
+		return changes
+	}
+	// Internal node: probe each child (heartbeat), grow missing ones.
+	parts := n.Region.Split(t.k)
+	for i, part := range parts {
+		if part.IsEmpty() {
+			n.Children[i] = nil
+			continue
+		}
+		if n.Children[i] == nil {
+			child := t.plant(part, n, n.Depth+1)
+			n.Children[i] = child
+			t.growRepair0(child)
+			changes += t.countSubtreeNodes(child)
+			continue
+		}
+		t.ring.Engine().CountMessage(MsgHeartbeat, t.heartbeatCost(n, n.Children[i]))
+		changes += t.repairNode(n.Children[i])
+	}
+	return changes
+}
+
+// growRepair expands a former leaf in place during repair.
+func (t *Tree) growRepair(n *Node) {
+	parts := n.Region.Split(t.k)
+	n.Children = make([]*Node, t.k)
+	for i, part := range parts {
+		if part.IsEmpty() {
+			continue
+		}
+		child := t.plant(part, n, n.Depth+1)
+		n.Children[i] = child
+		t.growRepair0(child)
+	}
+}
+
+func (t *Tree) growRepair0(n *Node) {
+	if t.coveredByHost(n) {
+		t.markLeaf(n)
+		return
+	}
+	t.growRepair(n)
+}
+
+func (t *Tree) countSubtreeNodes(n *Node) int {
+	count := 1
+	for _, c := range n.Children {
+		if c != nil {
+			count += t.countSubtreeNodes(c)
+		}
+	}
+	return count
+}
+
+// heartbeatCost is the latency of one parent→child probe.
+func (t *Tree) heartbeatCost(parent, child *Node) sim.Time {
+	return t.ring.Latency(parent.Host.Owner, child.Host.Owner) + 1
+}
+
+// EdgeLatency returns the one-way message latency between a node and its
+// parent, used by the aggregation protocols running over the tree.
+func (t *Tree) EdgeLatency(n *Node) sim.Time {
+	if n.Parent == nil {
+		return 0
+	}
+	return t.ring.Latency(n.Host.Owner, n.Parent.Host.Owner) + 1
+}
+
+// Walk visits every node in depth-first preorder.
+func (t *Tree) Walk(visit func(*Node)) {
+	if t.root == nil {
+		return
+	}
+	var rec func(*Node)
+	rec = func(n *Node) {
+		visit(n)
+		for _, c := range n.Children {
+			if c != nil {
+				rec(c)
+			}
+		}
+	}
+	rec(t.root)
+}
+
+// CheckInvariants panics if the tree violates its structural invariants:
+// the root covers the full space, children partition their parent's
+// region, every leaf is covered by its host's region, every node's host
+// owns its key, leaf bookkeeping matches the tree, and every live
+// virtual server hosts at least one leaf.
+func (t *Tree) CheckInvariants() {
+	if t.root == nil {
+		panic("ktree: no root")
+	}
+	if !t.root.Region.IsFull() {
+		panic("ktree: root does not cover the identifier space")
+	}
+	leaves := 0
+	nodes := 0
+	t.Walk(func(n *Node) {
+		nodes++
+		if n.Key != n.Region.Center() {
+			panic("ktree: key is not the region center")
+		}
+		if t.ring.Successor(n.Key) != n.Host {
+			panic("ktree: host does not own the node's key")
+		}
+		if n.IsLeaf() {
+			leaves++
+			if !t.coveredByHost(n) {
+				panic(fmt.Sprintf("ktree: leaf region %v not covered by host region %v",
+					n.Region, t.ring.RegionOf(n.Host)))
+			}
+			found := false
+			for _, l := range t.leavesByVS[n.Host] {
+				if l == n {
+					found = true
+					break
+				}
+			}
+			if !found {
+				panic("ktree: leaf missing from leavesByVS")
+			}
+			return
+		}
+		if len(n.Children) != t.k {
+			panic("ktree: internal node with wrong child count")
+		}
+		parts := n.Region.Split(t.k)
+		for i, c := range n.Children {
+			if parts[i].IsEmpty() {
+				if c != nil {
+					panic("ktree: child exists for empty region")
+				}
+				continue
+			}
+			if c == nil {
+				panic("ktree: missing child for non-empty region")
+			}
+			if c.Region != parts[i] {
+				panic("ktree: child region mismatch")
+			}
+			if c.Parent != n || c.Depth != n.Depth+1 {
+				panic("ktree: child linkage wrong")
+			}
+		}
+	})
+	if nodes != t.numNodes || leaves != t.numLeaves {
+		panic(fmt.Sprintf("ktree: bookkeeping mismatch nodes %d/%d leaves %d/%d",
+			nodes, t.numNodes, leaves, t.numLeaves))
+	}
+	for _, vs := range t.ring.VServers() {
+		if len(t.leavesByVS[vs]) == 0 {
+			panic(fmt.Sprintf("ktree: virtual server %s hosts no leaf", vs.ID))
+		}
+	}
+}

@@ -1,0 +1,324 @@
+package ktree
+
+import (
+	"math"
+	"testing"
+
+	"p2plb/internal/chord"
+	"p2plb/internal/ident"
+	"p2plb/internal/sim"
+)
+
+func buildRing(seed int64, nodes, vsPerNode int) *chord.Ring {
+	eng := sim.NewEngine(seed)
+	r := chord.NewRing(eng, chord.Config{})
+	for i := 0; i < nodes; i++ {
+		r.AddNode(-1, 100, vsPerNode)
+	}
+	return r
+}
+
+func buildTree(t *testing.T, ring *chord.Ring, k int) *Tree {
+	t.Helper()
+	tree, err := New(ring, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Build(); err != nil {
+		t.Fatal(err)
+	}
+	tree.CheckInvariants()
+	return tree
+}
+
+func TestNewValidation(t *testing.T) {
+	ring := buildRing(1, 2, 2)
+	if _, err := New(ring, 1); err == nil {
+		t.Fatal("k=1 must be rejected")
+	}
+	empty := chord.NewRing(sim.NewEngine(1), chord.Config{})
+	tree, _ := New(empty, 2)
+	if err := tree.Build(); err == nil {
+		t.Fatal("building over empty ring must fail")
+	}
+	if _, err := tree.Repair(); err == nil {
+		t.Fatal("repairing over empty ring must fail")
+	}
+}
+
+func TestBuildSingleVS(t *testing.T) {
+	eng := sim.NewEngine(1)
+	ring := chord.NewRing(eng, chord.Config{})
+	ring.AddNodeWithIDs(-1, 10, []ident.ID{12345})
+	tree := buildTree(t, ring, 2)
+	if !tree.Root().IsLeaf() {
+		t.Fatal("single-VS tree should be just a root leaf")
+	}
+	if tree.NumNodes() != 1 || tree.NumLeaves() != 1 || tree.Height() != 0 {
+		t.Fatalf("tree stats %d/%d/%d", tree.NumNodes(), tree.NumLeaves(), tree.Height())
+	}
+}
+
+func TestEveryVSHostsALeaf(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		for _, k := range []int{2, 8} {
+			ring := buildRing(seed, 64, 5)
+			tree := buildTree(t, ring, k)
+			for _, vs := range ring.VServers() {
+				if len(tree.LeavesOf(vs)) == 0 {
+					t.Fatalf("seed=%d k=%d: VS %s hosts no leaf", seed, k, vs.ID)
+				}
+			}
+		}
+	}
+}
+
+func TestLeavesTileTheCircle(t *testing.T) {
+	ring := buildRing(4, 32, 4)
+	tree := buildTree(t, ring, 2)
+	var total uint64
+	tree.Walk(func(n *Node) {
+		if n.IsLeaf() {
+			total += n.Region.Width
+		}
+	})
+	if total != ident.SpaceSize {
+		t.Fatalf("leaves cover %d of %d", total, ident.SpaceSize)
+	}
+}
+
+func TestLeafRegionInsideHostRegion(t *testing.T) {
+	ring := buildRing(5, 48, 3)
+	tree := buildTree(t, ring, 2)
+	tree.Walk(func(n *Node) {
+		if n.IsLeaf() && !ring.RegionOf(n.Host).Covers(n.Region) {
+			t.Fatalf("leaf %v not inside host %v", n.Region, ring.RegionOf(n.Host))
+		}
+	})
+}
+
+func TestHeightScalesWithK(t *testing.T) {
+	ring2 := buildRing(6, 128, 4)
+	tree2 := buildTree(t, ring2, 2)
+	ring8 := buildRing(6, 128, 4)
+	tree8 := buildTree(t, ring8, 8)
+	if tree8.Height() >= tree2.Height() {
+		t.Errorf("K=8 height %d should be below K=2 height %d", tree8.Height(), tree2.Height())
+	}
+	// K=2 height is bounded by the identifier bits.
+	if tree2.Height() > ident.Bits {
+		t.Errorf("K=2 height %d exceeds %d", tree2.Height(), ident.Bits)
+	}
+	// K=8 splits cut region width by 8 per level.
+	if want := int(math.Ceil(float64(ident.Bits)/3)) + 1; tree8.Height() > want {
+		t.Errorf("K=8 height %d exceeds %d", tree8.Height(), want)
+	}
+}
+
+func TestBuildCountsPlantMessages(t *testing.T) {
+	ring := buildRing(7, 16, 3)
+	eng := ring.Engine()
+	tree := buildTree(t, ring, 2)
+	if got := eng.MessageCount(MsgPlant); got != int64(tree.NumNodes()) {
+		t.Errorf("plant messages %d, want %d", got, tree.NumNodes())
+	}
+	if eng.MessageCost(MsgPlant) <= 0 {
+		t.Error("plant cost not charged")
+	}
+}
+
+func TestRepairNoChangeIsStable(t *testing.T) {
+	ring := buildRing(8, 32, 4)
+	tree := buildTree(t, ring, 2)
+	nodes, leaves, height := tree.NumNodes(), tree.NumLeaves(), tree.Height()
+	changes, err := tree.Repair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changes != 0 {
+		t.Errorf("repair on unchanged ring made %d changes", changes)
+	}
+	tree.CheckInvariants()
+	if tree.NumNodes() != nodes || tree.NumLeaves() != leaves || tree.Height() != height {
+		t.Error("repair changed tree shape without ring changes")
+	}
+}
+
+func TestRepairAfterNodeRemoval(t *testing.T) {
+	ring := buildRing(9, 32, 4)
+	tree := buildTree(t, ring, 2)
+	victims := ring.AliveNodes()[:8]
+	for _, v := range victims {
+		ring.RemoveNode(v)
+	}
+	changes, err := tree.Repair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changes == 0 {
+		t.Error("removing a quarter of nodes should change the tree")
+	}
+	tree.CheckInvariants()
+	// Freshly built tree over the same ring must have identical shape.
+	fresh, _ := New(ring, 2)
+	if err := fresh.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.NumNodes() != tree.NumNodes() || fresh.NumLeaves() != tree.NumLeaves() {
+		t.Errorf("repaired tree shape %d/%d differs from fresh build %d/%d",
+			tree.NumNodes(), tree.NumLeaves(), fresh.NumNodes(), fresh.NumLeaves())
+	}
+}
+
+func TestRepairAfterNodeAddition(t *testing.T) {
+	ring := buildRing(10, 16, 4)
+	tree := buildTree(t, ring, 2)
+	for i := 0; i < 16; i++ {
+		ring.AddNode(-1, 100, 4)
+	}
+	if _, err := tree.Repair(); err != nil {
+		t.Fatal(err)
+	}
+	tree.CheckInvariants()
+	for _, vs := range ring.VServers() {
+		if len(tree.LeavesOf(vs)) == 0 {
+			t.Fatalf("new VS %s has no leaf after repair", vs.ID)
+		}
+	}
+}
+
+func TestRepairAfterTransfer(t *testing.T) {
+	ring := buildRing(11, 16, 4)
+	tree := buildTree(t, ring, 2)
+	nodes := ring.AliveNodes()
+	// Move every VS of node 0 to node 1: tree shape is unchanged (the
+	// ring structure is the same), only Host owners differ — and Host
+	// pointers still point at the same VS objects, so repair sees no
+	// structural change.
+	for _, vs := range append([]*chord.VServer(nil), nodes[0].VServers()...) {
+		ring.Transfer(vs, nodes[1])
+	}
+	changes, err := tree.Repair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changes != 0 {
+		t.Errorf("transfer must not change tree structure, got %d changes", changes)
+	}
+	tree.CheckInvariants()
+}
+
+func TestRepairCountsHeartbeats(t *testing.T) {
+	ring := buildRing(12, 16, 4)
+	tree := buildTree(t, ring, 2)
+	ring.Engine().ResetMessageStats()
+	if _, err := tree.Repair(); err != nil {
+		t.Fatal(err)
+	}
+	hb := ring.Engine().MessageCount(MsgHeartbeat)
+	// Every internal-node -> existing-child edge is probed once.
+	wantEdges := int64(tree.NumNodes() - 1)
+	if hb != wantEdges {
+		t.Errorf("heartbeats %d, want %d (one per parent-child edge)", hb, wantEdges)
+	}
+}
+
+func TestRepairFromScratch(t *testing.T) {
+	ring := buildRing(13, 8, 3)
+	tree, _ := New(ring, 2)
+	changes, err := tree.Repair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changes != tree.NumNodes() {
+		t.Errorf("bootstrap repair reported %d changes, want %d", changes, tree.NumNodes())
+	}
+	tree.CheckInvariants()
+}
+
+func TestRepairMassiveChurnConverges(t *testing.T) {
+	ring := buildRing(14, 64, 4)
+	tree := buildTree(t, ring, 2)
+	// Churn: remove half, add half, repair, and verify a second repair
+	// is a no-op (fixed point).
+	alive := ring.AliveNodes()
+	for i := 0; i < len(alive)/2; i++ {
+		ring.RemoveNode(alive[i])
+	}
+	for i := 0; i < 32; i++ {
+		ring.AddNode(-1, 100, 4)
+	}
+	if _, err := tree.Repair(); err != nil {
+		t.Fatal(err)
+	}
+	tree.CheckInvariants()
+	changes, _ := tree.Repair()
+	if changes != 0 {
+		t.Errorf("second repair made %d changes, want 0", changes)
+	}
+}
+
+func TestEdgeLatency(t *testing.T) {
+	ring := buildRing(15, 16, 3)
+	tree := buildTree(t, ring, 2)
+	if tree.EdgeLatency(tree.Root()) != 0 {
+		t.Error("root edge latency should be 0")
+	}
+	tree.Walk(func(n *Node) {
+		if n.Parent != nil && tree.EdgeLatency(n) < 1 {
+			t.Error("child edge latency should be >= 1")
+		}
+	})
+}
+
+func TestWalkVisitsAllNodesOnce(t *testing.T) {
+	ring := buildRing(16, 32, 3)
+	tree := buildTree(t, ring, 2)
+	seen := map[*Node]bool{}
+	tree.Walk(func(n *Node) {
+		if seen[n] {
+			t.Fatal("node visited twice")
+		}
+		seen[n] = true
+	})
+	if len(seen) != tree.NumNodes() {
+		t.Fatalf("walk visited %d, tree has %d", len(seen), tree.NumNodes())
+	}
+	// Walk on an unbuilt tree is a no-op.
+	empty, _ := New(ring, 2)
+	empty.Walk(func(*Node) { t.Fatal("unbuilt tree should not visit") })
+}
+
+func TestTreeSizeReasonable(t *testing.T) {
+	// The tree should stay near-linear in the number of virtual servers.
+	ring := buildRing(17, 256, 5) // 1280 VSs
+	tree := buildTree(t, ring, 2)
+	v := ring.NumVServers()
+	if tree.NumNodes() > v*2*ident.Bits {
+		t.Errorf("tree has %d nodes for %d VSs — superlinear blowup", tree.NumNodes(), v)
+	}
+	if tree.NumLeaves() < v {
+		t.Errorf("only %d leaves for %d VSs", tree.NumLeaves(), v)
+	}
+}
+
+func BenchmarkBuild256x5K2(b *testing.B) {
+	ring := buildRing(1, 256, 5)
+	tree, _ := New(ring, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tree.Build(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRepairStable(b *testing.B) {
+	ring := buildRing(1, 256, 5)
+	tree, _ := New(ring, 2)
+	tree.Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Repair()
+	}
+}

@@ -1,0 +1,303 @@
+// Package livenet executes the load-balancing sweeps as real concurrent
+// computations: one goroutine per KT node, channels as the parent-child
+// links. Where internal/sim provides deterministic virtual time and
+// internal/protocol explicit message events, livenet demonstrates that
+// the algorithm itself is order-independent — the LBI merge is
+// commutative and associative, and rendezvous pairing depends only on
+// list contents — so a truly parallel execution (tens of thousands of
+// goroutines on however many cores exist) produces the same balancing
+// outcome as the sequential ones. The tests run under the race detector
+// and cross-check results against core.Balancer.
+//
+// The converge-casts are classic parallel tree reductions; on a
+// multi-core host they also serve as the fast path for very large
+// simulated systems.
+package livenet
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"p2plb/internal/chord"
+	"p2plb/internal/core"
+	"p2plb/internal/ktree"
+	"p2plb/internal/par"
+	"p2plb/internal/stats"
+)
+
+// spawnDepth bounds the goroutine fan-out of the parallel reductions:
+// nodes above this depth get their own goroutine (up to K^spawnDepth of
+// them — ample parallelism for any core count); deeper subtrees reduce
+// sequentially inside their ancestor's goroutine. Without the cutoff a
+// full-scale tree (~700k KT nodes) would allocate hundreds of thousands
+// of stacks for no extra parallelism.
+const spawnDepth = 8
+
+// AggregateLBI performs the bottom-up LBI converge-cast concurrently:
+// KT nodes in the top spawnDepth levels run as goroutines reading their
+// children's results from channels; deeper subtrees reduce sequentially.
+func AggregateLBI(tree *ktree.Tree, inbox map[*ktree.Node][]core.LBI) core.LBI {
+	var sequential func(n *ktree.Node) core.LBI
+	sequential = func(n *ktree.Node) core.LBI {
+		var agg core.LBI
+		for _, rep := range inbox[n] {
+			agg = agg.Merge(rep)
+		}
+		for _, c := range n.Children {
+			if c != nil {
+				agg = agg.Merge(sequential(c))
+			}
+		}
+		return agg
+	}
+	var spawn func(n *ktree.Node) <-chan core.LBI
+	spawn = func(n *ktree.Node) <-chan core.LBI {
+		out := make(chan core.LBI, 1)
+		if n.Depth >= spawnDepth {
+			go func() { out <- sequential(n) }()
+			return out
+		}
+		var childCh []<-chan core.LBI
+		for _, c := range n.Children {
+			if c != nil {
+				childCh = append(childCh, spawn(c))
+			}
+		}
+		go func() {
+			var agg core.LBI
+			for _, rep := range inbox[n] {
+				agg = agg.Merge(rep)
+			}
+			for _, ch := range childCh {
+				agg = agg.Merge(<-ch)
+			}
+			out <- agg
+		}()
+		return out
+	}
+	return <-spawn(tree.Root())
+}
+
+// pairSink collects pairings emitted by concurrently running
+// rendezvous goroutines.
+type pairSink struct {
+	mu    sync.Mutex
+	pairs []core.Pair
+}
+
+func (s *pairSink) add(ps []core.Pair) {
+	if len(ps) == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.pairs = append(s.pairs, ps...)
+	s.mu.Unlock()
+}
+
+// SweepVSA performs the bottom-up VSA sweep concurrently: each KT node
+// goroutine merges its children's unpaired lists with its own inbox,
+// pairs when it qualifies as a rendezvous point (threshold reached, or
+// root), and sends leftovers upward. It returns all pairings and the
+// list left unpaired at the root. The inbox PairLists are consumed.
+func SweepVSA(tree *ktree.Tree, inbox map[*ktree.Node]*core.PairList, lmin float64, threshold int) ([]core.Pair, *core.PairList) {
+	if threshold == 0 {
+		threshold = core.DefaultRendezvousThreshold
+	}
+	sink := &pairSink{}
+	process := func(n *ktree.Node, lists *core.PairList) {
+		isRoot := n.Parent == nil
+		if lists.Size() > 0 && (isRoot || (threshold > 0 && lists.Size() >= threshold)) {
+			sink.add(lists.Pair(lmin))
+		}
+	}
+	var sequential func(n *ktree.Node) *core.PairList
+	sequential = func(n *ktree.Node) *core.PairList {
+		lists := inbox[n]
+		if lists == nil {
+			lists = &core.PairList{}
+		}
+		for _, c := range n.Children {
+			if c != nil {
+				lists.Merge(sequential(c))
+			}
+		}
+		process(n, lists)
+		return lists
+	}
+	var spawn func(n *ktree.Node) <-chan *core.PairList
+	spawn = func(n *ktree.Node) <-chan *core.PairList {
+		out := make(chan *core.PairList, 1)
+		if n.Depth >= spawnDepth {
+			go func() { out <- sequential(n) }()
+			return out
+		}
+		var childCh []<-chan *core.PairList
+		for _, c := range n.Children {
+			if c != nil {
+				childCh = append(childCh, spawn(c))
+			}
+		}
+		go func() {
+			lists := inbox[n]
+			if lists == nil {
+				lists = &core.PairList{}
+			}
+			for _, ch := range childCh {
+				lists.Merge(<-ch)
+			}
+			process(n, lists)
+			out <- lists
+		}()
+		return out
+	}
+	left := <-spawn(tree.Root())
+	return sink.pairs, left
+}
+
+// Result is a concurrent round's outcome (a subset of core.Result: the
+// live execution has no virtual clock, so there are no phase times).
+type Result struct {
+	Global                                  core.LBI
+	HeavyBefore, LightBefore, NeutralBefore int
+	HeavyAfter, LightAfter, NeutralAfter    int
+	Assignments                             []core.Pair
+	MovedLoad                               float64
+	UnassignedOffers                        int
+}
+
+// RunRound executes a complete load-balancing round with concurrent
+// sweeps: parallel LBI reduction, parallel classification, concurrent
+// VSA sweep, then transfers applied to the ring. The seed drives the
+// (sequential) randomized reporting choices, so a round is reproducible
+// even though execution interleaving is not.
+func RunRound(ring *chord.Ring, tree *ktree.Tree, cfg core.Config, seed int64) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Mode != core.ProximityIgnorant {
+		return nil, fmt.Errorf("livenet: only proximity-ignorant rounds are implemented")
+	}
+	if ring.NumVServers() == 0 {
+		return nil, fmt.Errorf("livenet: ring has no virtual servers")
+	}
+	if tree.Root() == nil {
+		if err := tree.Build(); err != nil {
+			return nil, err
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// LBI reporting (sequential: consumes the round RNG) and the
+	// concurrent aggregation.
+	lbiInbox := make(map[*ktree.Node][]core.LBI)
+	var alive []*chord.Node
+	for _, n := range ring.Nodes() {
+		if !n.Alive {
+			continue
+		}
+		alive = append(alive, n)
+		vs := n.RandomVS(rng)
+		if vs == nil {
+			all := ring.VServers()
+			vs = all[rng.Intn(len(all))]
+		}
+		leaves := tree.LeavesOf(vs)
+		leaf := leaves[rng.Intn(len(leaves))]
+		lbiInbox[leaf] = append(lbiInbox[leaf], core.NodeLBI(n))
+	}
+	global := AggregateLBI(tree, lbiInbox)
+	if !global.Valid() {
+		return nil, fmt.Errorf("livenet: no node reported LBI")
+	}
+	res := &Result{Global: global}
+
+	// Classification in parallel across nodes.
+	states := make([]*core.NodeState, len(alive))
+	par.For(len(alive), 0, func(i int) {
+		states[i] = core.ClassifyNode(alive[i], global, cfg.Epsilon, cfg.Subset)
+	})
+	for _, st := range states {
+		switch st.Class {
+		case core.Heavy:
+			res.HeavyBefore++
+		case core.Light:
+			res.LightBefore++
+		default:
+			res.NeutralBefore++
+		}
+	}
+
+	// VSA inboxes (sequential RNG), concurrent sweep.
+	vsaInbox := make(map[*ktree.Node]*core.PairList)
+	leafOf := make(map[*chord.VServer]*ktree.Node)
+	for _, st := range states {
+		if st.Class == core.Neutral {
+			continue
+		}
+		vs := st.Node.RandomVS(rng)
+		if vs == nil {
+			all := ring.VServers()
+			vs = all[rng.Intn(len(all))]
+		}
+		leaf, ok := leafOf[vs]
+		if !ok {
+			leaves := tree.LeavesOf(vs)
+			leaf = leaves[rng.Intn(len(leaves))]
+			leafOf[vs] = leaf
+		}
+		pl := vsaInbox[leaf]
+		if pl == nil {
+			pl = &core.PairList{}
+			vsaInbox[leaf] = pl
+		}
+		switch st.Class {
+		case core.Light:
+			pl.AddLight(st.Deficit, st.Node, 0)
+		case core.Heavy:
+			for _, offer := range st.Offers {
+				pl.AddOffer(offer, st.Node, 0)
+			}
+		}
+	}
+	pairs, left := SweepVSA(tree, vsaInbox, global.Lmin, cfg.RendezvousThreshold)
+	// The sink collects pairs in goroutine-completion order; sort them
+	// so the result (including float summation order) is reproducible.
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].VS.ID < pairs[j].VS.ID })
+	res.Assignments = pairs
+	res.UnassignedOffers = left.Offers()
+
+	// Transfers mutate the ring: apply sequentially.
+	for _, p := range pairs {
+		ring.Transfer(p.VS, p.To)
+		res.MovedLoad += p.Load
+	}
+	for _, n := range alive {
+		st := core.ClassifyNode(n, global, cfg.Epsilon, cfg.Subset)
+		switch st.Class {
+		case core.Heavy:
+			res.HeavyAfter++
+		case core.Light:
+			res.LightAfter++
+		default:
+			res.NeutralAfter++
+		}
+	}
+	if _, err := tree.Repair(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// UnitLoadGini is a convenience: the Gini coefficient of per-node unit
+// load, computed in parallel-friendly one pass.
+func UnitLoadGini(ring *chord.Ring) float64 {
+	var units []float64
+	for _, n := range ring.Nodes() {
+		if n.Alive {
+			units = append(units, n.TotalLoad()/n.Capacity)
+		}
+	}
+	return stats.Gini(units)
+}

@@ -1,0 +1,204 @@
+package livenet
+
+import (
+	"testing"
+
+	"p2plb/internal/chord"
+	"p2plb/internal/core"
+	"p2plb/internal/ident"
+	"p2plb/internal/ktree"
+	"p2plb/internal/sim"
+	"p2plb/internal/workload"
+)
+
+func fixture(seed int64, nodes, vsPer int) (*chord.Ring, *ktree.Tree) {
+	eng := sim.NewEngine(seed)
+	ring := chord.NewRing(eng, chord.Config{})
+	profile := workload.GnutellaProfile()
+	for i := 0; i < nodes; i++ {
+		ring.AddNode(-1, profile.Sample(eng.Rand()), vsPer)
+	}
+	mu := float64(nodes) * 100
+	model := workload.Gaussian{Mu: mu, Sigma: mu / 400}
+	for _, vs := range ring.VServers() {
+		vs.Load = model.Load(eng.Rand(), ring.RegionOf(vs).Fraction())
+	}
+	tree, err := ktree.New(ring, 2)
+	if err != nil {
+		panic(err)
+	}
+	if err := tree.Build(); err != nil {
+		panic(err)
+	}
+	return ring, tree
+}
+
+func TestAggregateLBIMatchesSequential(t *testing.T) {
+	ring, tree := fixture(1, 128, 5)
+	// Deposit every node's report at a fixed leaf choice.
+	inbox := make(map[*ktree.Node][]core.LBI)
+	var want core.LBI
+	for _, n := range ring.Nodes() {
+		rep := core.NodeLBI(n)
+		want = want.Merge(rep)
+		vs := n.VServers()[0]
+		inbox[tree.LeavesOf(vs)[0]] = append(inbox[tree.LeavesOf(vs)[0]], rep)
+	}
+	got := AggregateLBI(tree, inbox)
+	if got != want {
+		t.Fatalf("concurrent aggregate %+v != sequential %+v", got, want)
+	}
+}
+
+func TestAggregateLBIEmptyInbox(t *testing.T) {
+	_, tree := fixture(2, 16, 3)
+	got := AggregateLBI(tree, map[*ktree.Node][]core.LBI{})
+	if got.Valid() {
+		t.Fatalf("empty inbox should aggregate to invalid LBI, got %+v", got)
+	}
+}
+
+func TestSweepVSAPairsEverything(t *testing.T) {
+	ring, tree := fixture(3, 64, 4)
+	// One big light node and offers scattered at many leaves.
+	inbox := make(map[*ktree.Node]*core.PairList)
+	big := ring.AliveNodes()[0]
+	leaf0 := tree.LeavesOf(big.VServers()[0])[0]
+	pl := &core.PairList{}
+	pl.AddLight(1e12, big, 0)
+	inbox[leaf0] = pl
+	offers := 0
+	for _, n := range ring.AliveNodes()[1:17] {
+		vs := n.VServers()[0]
+		leaf := tree.LeavesOf(vs)[0]
+		p := inbox[leaf]
+		if p == nil {
+			p = &core.PairList{}
+			inbox[leaf] = p
+		}
+		vs.Load = 5
+		p.AddOffer(vs, n, 0)
+		offers++
+	}
+	pairs, left := SweepVSA(tree, inbox, 1, 30)
+	if len(pairs) != offers {
+		t.Fatalf("paired %d of %d offers", len(pairs), offers)
+	}
+	if left.Offers() != 0 {
+		t.Fatalf("%d offers left unpaired", left.Offers())
+	}
+	for _, p := range pairs {
+		if p.To != big {
+			t.Fatal("pairing chose the wrong light node")
+		}
+	}
+}
+
+func TestRunRoundBalances(t *testing.T) {
+	ring, tree := fixture(4, 256, 5)
+	res, err := RunRound(ring, tree, core.Config{Epsilon: 0.05}, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HeavyBefore < 128 {
+		t.Fatalf("fixture too tame: %d heavy", res.HeavyBefore)
+	}
+	if res.HeavyAfter != 0 {
+		t.Errorf("%d heavy remain (unassigned %d)", res.HeavyAfter, res.UnassignedOffers)
+	}
+	if res.MovedLoad <= 0 || len(res.Assignments) == 0 {
+		t.Fatal("nothing moved")
+	}
+	ring.CheckInvariants()
+	tree.CheckInvariants()
+}
+
+func TestRunRoundMatchesBalancerAggregates(t *testing.T) {
+	// Concurrent round vs the sequential Balancer on identical rings:
+	// the global tuple and classification census must agree exactly.
+	ringA, treeA := fixture(5, 160, 5)
+	resA, err := RunRound(ringA, treeA, core.Config{Epsilon: 0.05}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ringB, treeB := fixture(5, 160, 5)
+	bal, _ := core.NewBalancer(ringB, treeB, core.Config{Epsilon: 0.05})
+	resB, err := bal.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resA.Global != resB.Global {
+		t.Errorf("global differs: %+v vs %+v", resA.Global, resB.Global)
+	}
+	if resA.HeavyBefore != resB.HeavyBefore {
+		t.Errorf("heavy-before differs: %d vs %d", resA.HeavyBefore, resB.HeavyBefore)
+	}
+	if resA.HeavyAfter != 0 || resB.HeavyAfter != 0 {
+		t.Errorf("both should balance: %d / %d", resA.HeavyAfter, resB.HeavyAfter)
+	}
+	diff := resA.MovedLoad - resB.MovedLoad
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 0.05*resB.MovedLoad {
+		t.Errorf("moved load diverges: %.0f vs %.0f", resA.MovedLoad, resB.MovedLoad)
+	}
+}
+
+func TestRunRoundReproducible(t *testing.T) {
+	// Same seed → same pairing outcome, despite nondeterministic
+	// goroutine interleaving.
+	run := func() (float64, int) {
+		ring, tree := fixture(6, 96, 4)
+		res, err := RunRound(ring, tree, core.Config{Epsilon: 0.05}, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MovedLoad, len(res.Assignments)
+	}
+	m1, a1 := run()
+	m2, a2 := run()
+	if m1 != m2 || a1 != a2 {
+		t.Fatalf("not reproducible: %v/%d vs %v/%d", m1, a1, m2, a2)
+	}
+}
+
+func TestRunRoundValidation(t *testing.T) {
+	ring, tree := fixture(7, 16, 3)
+	if _, err := RunRound(ring, tree, core.Config{Epsilon: -1}, 1); err == nil {
+		t.Error("invalid config should fail")
+	}
+	if _, err := RunRound(ring, tree, core.Config{Mode: core.ProximityAware}, 1); err == nil {
+		t.Error("aware mode should be rejected (needs a mapper anyway)")
+	}
+	empty := chord.NewRing(sim.NewEngine(1), chord.Config{})
+	emptyTree, _ := ktree.New(empty, 2)
+	if _, err := RunRound(empty, emptyTree, core.Config{}, 1); err == nil {
+		t.Error("empty ring should fail")
+	}
+}
+
+func TestUnitLoadGini(t *testing.T) {
+	eng := sim.NewEngine(1)
+	ring := chord.NewRing(eng, chord.Config{})
+	a, _ := ring.AddNodeWithIDs(-1, 10, []ident.ID{100})
+	b, _ := ring.AddNodeWithIDs(-1, 10, []ident.ID{200})
+	a.VServers()[0].Load = 10
+	b.VServers()[0].Load = 10
+	if g := UnitLoadGini(ring); g != 0 {
+		t.Fatalf("equal loads should give Gini 0, got %v", g)
+	}
+	b.VServers()[0].Load = 0
+	if g := UnitLoadGini(ring); g <= 0.4 {
+		t.Fatalf("concentrated load should give high Gini, got %v", g)
+	}
+}
+
+func BenchmarkConcurrentRound(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ring, tree := fixture(int64(i), 512, 5)
+		if _, err := RunRound(ring, tree, core.Config{Epsilon: 0.05}, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package par
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversAllIndicesOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100, 1023} {
+		for _, workers := range []int{0, 1, 2, 16, 2000} {
+			counts := make([]atomic.Int32, n)
+			For(n, workers, func(i int) { counts[i].Add(1) })
+			for i := range counts {
+				if got := counts[i].Load(); got != 1 {
+					t.Fatalf("n=%d workers=%d: index %d visited %d times", n, workers, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestForNegativeN(t *testing.T) {
+	called := false
+	For(-5, 4, func(int) { called = true })
+	if called {
+		t.Fatal("For(-5) must not call fn")
+	}
+}
+
+func TestForChunkedCoversAllIndicesOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 64, 999} {
+		for _, workers := range []int{0, 1, 3, 32} {
+			counts := make([]atomic.Int32, n)
+			ForChunked(n, workers, func(lo, hi int) {
+				if lo < 0 || hi > n || lo >= hi {
+					t.Errorf("bad chunk [%d,%d) for n=%d", lo, hi, n)
+				}
+				for i := lo; i < hi; i++ {
+					counts[i].Add(1)
+				}
+			})
+			for i := range counts {
+				if got := counts[i].Load(); got != 1 {
+					t.Fatalf("n=%d workers=%d: index %d visited %d times", n, workers, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	in := make([]int, 500)
+	for i := range in {
+		in[i] = i
+	}
+	out := Map(in, 8, func(x int) int { return x * x })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out := Map([]int(nil), 4, func(x int) int { return x })
+	if len(out) != 0 {
+		t.Fatalf("Map(nil) returned %d elements", len(out))
+	}
+}
+
+func TestMapErrFirstError(t *testing.T) {
+	in := []int{0, 1, 2, 3, 4, 5}
+	errOdd := errors.New("odd")
+	var calls atomic.Int32
+	out, err := MapErr(in, 3, func(x int) (int, error) {
+		calls.Add(1)
+		if x%2 == 1 {
+			return 0, errOdd
+		}
+		return x * 10, nil
+	})
+	if err != errOdd {
+		t.Fatalf("err = %v, want errOdd", err)
+	}
+	if calls.Load() != int32(len(in)) {
+		t.Fatalf("fn called %d times, want %d", calls.Load(), len(in))
+	}
+	if out[0] != 0 || out[2] != 20 || out[4] != 40 {
+		t.Fatalf("partial results wrong: %v", out)
+	}
+}
+
+func TestMapErrNoError(t *testing.T) {
+	out, err := MapErr([]string{"a", "bb"}, 2, func(s string) (int, error) { return len(s), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 1 || out[1] != 2 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func BenchmarkForOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var sum atomic.Int64
+		For(256, 0, func(i int) { sum.Add(int64(i)) })
+	}
+}

@@ -1,0 +1,598 @@
+// Package protocol executes the load-balancing scheme as explicit
+// messages on the discrete-event engine — the fully distributed
+// counterpart of core.Balancer's closed-form round.
+//
+// core.Balancer computes each phase's outcome and completion time with
+// max-plus recursions over the tree, which is exact when nothing fails
+// mid-round. This package instead runs the real message flow: LBI
+// collection is a pull converge-cast with per-child timeouts, the global
+// tuple is disseminated hop by hop, proximity-aware advertisements are
+// published through routed Chord lookups, the VSA converge-cast carries
+// the actual lists, rendezvous points emit pair notifications as
+// messages, and transfers occupy simulated time. Because every step is
+// an event, nodes may crash *during* a round: dead subtrees simply stop
+// replying, parents proceed after a timeout with partial data, and the
+// next round (after tree repair) picks up the remainder — the
+// fault-tolerance behaviour §3.1-3.4 argue for and defer to future
+// work to evaluate.
+//
+// Both executions share the classification and pairing rules through
+// core's exported primitives, so on a static ring they produce
+// equivalent balancing outcomes.
+package protocol
+
+import (
+	"fmt"
+
+	"p2plb/internal/chord"
+	"p2plb/internal/core"
+	"p2plb/internal/ktree"
+	"p2plb/internal/sim"
+	"p2plb/internal/stats"
+)
+
+// Message kinds counted on the engine.
+const (
+	MsgCollectDown = "protocol.lbi-collect"  // parent → child LBI pull
+	MsgReportUp    = "protocol.lbi-report"   // child → parent LBI reply
+	MsgDisperse    = "protocol.lbi-disperse" // parent → child global tuple
+	MsgPublish     = "protocol.vsa-publish"  // final hop of a routed VSA publication
+	MsgVSADown     = "protocol.vsa-collect"  // parent → child VSA pull
+	MsgVSAUp       = "protocol.vsa-report"   // child → parent VSA reply
+	MsgAssign      = "protocol.vsa-assign"   // rendezvous → endpoints
+	MsgTransfer    = "protocol.vst-transfer" // the virtual server movement
+)
+
+// Config parameterizes a Runner.
+type Config struct {
+	// Core carries the balancing semantics (mode, epsilon, threshold,
+	// mapper, subset strategy, transfer-cost metric).
+	Core core.Config
+	// ChildTimeout is the per-level epoch slack: a KT node at depth d
+	// waits ChildTimeout·(height−d+1) for its children's replies before
+	// proceeding with partial data (crashed subtrees never reply).
+	// Scaling with remaining subtree height is essential — with a flat
+	// window every ancestor would give up just before its child's
+	// partial reply arrived, cascading data loss to the root. The value
+	// must exceed the worst one-hop reply latency; 0 means a generous
+	// default of 5000 time units per level. It only affects rounds in
+	// which something actually failed.
+	ChildTimeout sim.Time
+	// PrefixRouting publishes proximity-aware advertisements with
+	// Pastry-style prefix routing instead of Chord finger routing —
+	// the §4.3 claim that the scheme adapts to other DHTs. It changes
+	// only lookup paths, never outcomes.
+	PrefixRouting bool
+}
+
+// defaultChildTimeout is the per-level slack used when Config leaves
+// ChildTimeout zero.
+const defaultChildTimeout = 5000
+
+// Runner executes rounds over a ring and its tree.
+type Runner struct {
+	ring *chord.Ring
+	tree *ktree.Tree
+	cfg  Config
+	eng  *sim.Engine
+
+	roundActive bool
+}
+
+// NewRunner returns a Runner. The tree must belong to the ring.
+func NewRunner(ring *chord.Ring, tree *ktree.Tree, cfg Config) (*Runner, error) {
+	if err := cfg.Core.Validate(); err != nil {
+		return nil, err
+	}
+	if tree.Ring() != ring {
+		return nil, fmt.Errorf("protocol: tree is built over a different ring")
+	}
+	if cfg.ChildTimeout < 0 {
+		return nil, fmt.Errorf("protocol: negative child timeout")
+	}
+	return &Runner{ring: ring, tree: tree, cfg: cfg, eng: ring.Engine()}, nil
+}
+
+// Result extends core.Result with the protocol-level evidence.
+type Result struct {
+	core.Result
+	// TimedOutChildren counts child epochs a parent gave up waiting
+	// for (dead or unreachable subtrees).
+	TimedOutChildren int
+	// AbortedTransfers counts pairings whose endpoint died before the
+	// transfer completed.
+	AbortedTransfers int
+	// NodesClassified counts nodes that received the global tuple.
+	NodesClassified int
+}
+
+// round carries one round's mutable state.
+type round struct {
+	r       *Runner
+	timeout sim.Time
+	start   sim.Time
+
+	lbiInbox map[*ktree.Node][]core.LBI
+	global   core.LBI
+
+	states     map[*chord.Node]*core.NodeState
+	vsaInbox   map[*ktree.Node]*core.PairList
+	leafOfVS   map[*chord.VServer]*ktree.Node
+	publishing int // outstanding routed publications
+
+	outstandingTransfers int
+	vsaDone              bool
+	finished             bool
+
+	res    *Result
+	finish func(*Result, error)
+}
+
+// done completes the round exactly once.
+func (rd *round) done(res *Result, err error) {
+	if rd.finished {
+		return
+	}
+	rd.finished = true
+	rd.finish(res, err)
+}
+
+// StartRound begins one asynchronous load-balancing round; done fires
+// on the engine when the round (including all transfers) completes.
+// Only one round may be active at a time.
+func (r *Runner) StartRound(done func(*Result, error)) error {
+	if r.roundActive {
+		return fmt.Errorf("protocol: round already active")
+	}
+	if r.ring.NumVServers() == 0 {
+		return fmt.Errorf("protocol: ring has no virtual servers")
+	}
+	if r.tree.Root() == nil {
+		if err := r.tree.Build(); err != nil {
+			return err
+		}
+	}
+	r.roundActive = true
+	timeout := r.cfg.ChildTimeout
+	if timeout == 0 {
+		timeout = defaultChildTimeout
+	}
+	rd := &round{
+		r:        r,
+		timeout:  timeout,
+		start:    r.eng.Now(),
+		lbiInbox: make(map[*ktree.Node][]core.LBI),
+		states:   make(map[*chord.Node]*core.NodeState),
+		vsaInbox: make(map[*ktree.Node]*core.PairList),
+		leafOfVS: make(map[*chord.VServer]*ktree.Node),
+		res: &Result{Result: core.Result{
+			Mode:        r.cfg.Core.Mode,
+			MovedByHops: &stats.WeightedHistogram{},
+			TreeHeight:  r.tree.Height(),
+		}},
+		finish: func(res *Result, err error) {
+			r.roundActive = false
+			done(res, err)
+		},
+	}
+	// Hard deadline: if the root itself dies mid-round the epoch can
+	// never complete; fail the round so the caller can repair and retry.
+	r.eng.Schedule(8*rd.epochWindow(r.tree.Root()), func() {
+		rd.done(nil, fmt.Errorf("protocol: round deadline exceeded (root unreachable?)"))
+	})
+	rd.depositLBIReports()
+	rd.collectLBI(r.tree.Root(), func(global core.LBI) {
+		if !global.Valid() {
+			rd.done(nil, fmt.Errorf("protocol: no node reported LBI"))
+			return
+		}
+		rd.global = global
+		rd.res.Global = global
+		rd.res.TimeLBIAggregate = r.eng.Now() - rd.start
+		rd.disseminate(r.tree.Root())
+		// Dissemination completion is tracked per delivery; the VSA
+		// epoch starts once all deliveries and publications are done.
+	})
+	return nil
+}
+
+// alive reports whether the KT node is currently operational (its
+// hosting virtual server's owner is alive). Crashed hosts silently drop
+// epoch messages; Repair replants them between rounds.
+func (rd *round) alive(n *ktree.Node) bool {
+	return n.Host.Owner.Alive
+}
+
+// epochWindow returns how long the KT node n waits for its children's
+// epoch replies: the per-level slack times the remaining subtree height,
+// so a parent's window always outlasts its children's.
+func (rd *round) epochWindow(n *ktree.Node) sim.Time {
+	levels := rd.r.tree.Height() - n.Depth + 1
+	if levels < 1 {
+		levels = 1
+	}
+	return rd.timeout * sim.Time(levels)
+}
+
+// leafFor returns the single leaf a virtual server reports through this
+// round.
+func (rd *round) leafFor(vs *chord.VServer) *ktree.Node {
+	if leaf, ok := rd.leafOfVS[vs]; ok {
+		return leaf
+	}
+	leaves := rd.r.tree.LeavesOf(vs)
+	leaf := leaves[rd.r.eng.Rand().Intn(len(leaves))]
+	rd.leafOfVS[vs] = leaf
+	return leaf
+}
+
+// depositLBIReports places each alive node's LBI report at the leaf of
+// its randomly chosen virtual server (both local interactions).
+func (rd *round) depositLBIReports() {
+	eng := rd.r.eng
+	for _, n := range rd.r.ring.Nodes() {
+		if !n.Alive {
+			continue
+		}
+		vs := n.RandomVS(eng.Rand())
+		if vs == nil {
+			all := rd.r.ring.VServers()
+			vs = all[eng.Rand().Intn(len(all))]
+		}
+		leaf := rd.leafFor(vs)
+		rd.lbiInbox[leaf] = append(rd.lbiInbox[leaf], core.NodeLBI(n))
+	}
+}
+
+// collectLBI pulls <L, C, Lmin> from n's subtree: leaves answer from
+// their inbox; internal nodes query children, merge replies, and give
+// up on silent children after the timeout.
+func (rd *round) collectLBI(n *ktree.Node, cb func(core.LBI)) {
+	if !rd.alive(n) {
+		return // a dead KT node never replies
+	}
+	var agg core.LBI
+	for _, rep := range rd.lbiInbox[n] {
+		agg = agg.Merge(rep)
+	}
+	if n.IsLeaf() {
+		cb(agg)
+		return
+	}
+	eng := rd.r.eng
+	pending := 0
+	closed := false
+	finish := func() {
+		if closed {
+			return
+		}
+		closed = true
+		cb(agg)
+	}
+	for _, c := range n.Children {
+		if c == nil {
+			continue
+		}
+		c := c
+		pending++
+		edge := rd.r.tree.EdgeLatency(c)
+		eng.CountMessage(MsgCollectDown, edge)
+		eng.Schedule(edge, func() {
+			rd.collectLBI(c, func(sub core.LBI) {
+				eng.CountMessage(MsgReportUp, edge)
+				eng.Schedule(edge, func() {
+					if closed {
+						return // reply after epoch closed
+					}
+					agg = agg.Merge(sub)
+					pending--
+					if pending == 0 {
+						finish()
+					}
+				})
+			})
+		})
+	}
+	if pending == 0 {
+		finish()
+		return
+	}
+	eng.Schedule(rd.epochWindow(n), func() {
+		if !closed {
+			rd.res.TimedOutChildren += pending
+			finish()
+		}
+	})
+}
+
+// disseminate pushes the global tuple down the tree; each leaf delivery
+// classifies its host's owner node (once) and triggers publication.
+func (rd *round) disseminate(n *ktree.Node) {
+	eng := rd.r.eng
+	rd.publishing++ // guards VSA start until this subtree finishes
+	var walk func(n *ktree.Node)
+	walk = func(n *ktree.Node) {
+		if !rd.alive(n) {
+			return
+		}
+		if n.IsLeaf() {
+			rd.classifyAndPublish(n.Host.Owner)
+			return
+		}
+		for _, c := range n.Children {
+			if c == nil {
+				continue
+			}
+			c := c
+			edge := rd.r.tree.EdgeLatency(c)
+			eng.CountMessage(MsgDisperse, edge)
+			rd.publishing++
+			eng.Schedule(edge, func() {
+				walk(c)
+				rd.publishDone()
+			})
+		}
+	}
+	walk(n)
+	rd.publishDone()
+}
+
+// classifyAndPublish runs classification on a node the first time the
+// global tuple reaches it, and publishes its VSA information.
+func (rd *round) classifyAndPublish(node *chord.Node) {
+	if _, ok := rd.states[node]; ok || !node.Alive {
+		return
+	}
+	st := core.ClassifyNode(node, rd.global, rd.cfg().Epsilon, rd.cfg().Subset)
+	rd.states[node] = st
+	rd.res.NodesClassified++
+	if t := rd.r.eng.Now() - rd.start; t > rd.res.TimeLBIDisseminate {
+		rd.res.TimeLBIDisseminate = t
+	}
+	if st.Class == core.Neutral {
+		return
+	}
+	eng := rd.r.eng
+	switch rd.cfg().Mode {
+	case core.ProximityIgnorant:
+		vs := node.RandomVS(eng.Rand())
+		if vs == nil {
+			all := rd.r.ring.VServers()
+			vs = all[eng.Rand().Intn(len(all))]
+		}
+		rd.deposit(vs, st, 0)
+	case core.ProximityAware:
+		key := rd.cfg().Mapper.Key(node.Underlay)
+		group := uint64(key)
+		if cm, ok := rd.cfg().Mapper.(core.CellMapper); ok {
+			group = cm.Cell(node.Underlay)
+		}
+		// Routed publication: the advertisement travels through the
+		// overlay to the key's owner.
+		rd.publishing++
+		lookup := rd.r.ring.Lookup
+		if rd.r.cfg.PrefixRouting {
+			lookup = rd.r.ring.PrefixLookup
+		}
+		lookup(node, key, func(res chord.LookupResult) {
+			eng.CountMessage(MsgPublish, 1)
+			rd.deposit(res.VS, st, group)
+			if t := rd.r.eng.Now() - rd.start; t > rd.res.TimePublish {
+				rd.res.TimePublish = t
+			}
+			rd.publishDone()
+		})
+	}
+}
+
+func (rd *round) cfg() core.Config { return rd.r.cfg.Core }
+
+// deposit stores a node's VSA entries at the given virtual server's
+// reporting leaf.
+func (rd *round) deposit(vs *chord.VServer, st *core.NodeState, group uint64) {
+	leaf := rd.leafFor(vs)
+	pl := rd.vsaInbox[leaf]
+	if pl == nil {
+		pl = &core.PairList{}
+		rd.vsaInbox[leaf] = pl
+	}
+	switch st.Class {
+	case core.Light:
+		pl.AddLight(st.Deficit, st.Node, group)
+	case core.Heavy:
+		for _, vs := range st.Offers {
+			pl.AddOffer(vs, st.Node, group)
+		}
+	}
+}
+
+// publishDone decrements the outstanding-publication counter; at zero,
+// every advertisement has landed and the VSA epoch begins.
+func (rd *round) publishDone() {
+	rd.publishing--
+	if rd.publishing > 0 {
+		return
+	}
+	rd.startVSA()
+}
+
+// startVSA runs the VSA converge-cast from the root.
+func (rd *round) startVSA() {
+	var heavy, light, neutral int
+	for _, st := range rd.states {
+		switch st.Class {
+		case core.Heavy:
+			heavy++
+		case core.Light:
+			light++
+		default:
+			neutral++
+		}
+	}
+	rd.res.HeavyBefore, rd.res.LightBefore, rd.res.NeutralBefore = heavy, light, neutral
+
+	rd.collectVSA(rd.r.tree.Root(), true, func(left *core.PairList) {
+		rd.res.TimeVSAComplete = rd.r.eng.Now() - rd.start
+		rd.res.UnassignedOffers = left.Offers()
+		rd.res.UnassignedLoad = left.OfferLoad()
+		rd.vsaDone = true
+		rd.maybeFinish()
+	})
+}
+
+// collectVSA is the bottom-up VSA sweep: children reply with their
+// unpaired lists; rendezvous points (threshold reached, or the root)
+// pair and notify, and everything unpaired flows upward.
+func (rd *round) collectVSA(n *ktree.Node, isRoot bool, cb func(*core.PairList)) {
+	if !rd.alive(n) {
+		return
+	}
+	eng := rd.r.eng
+	lists := rd.vsaInbox[n]
+	if lists == nil {
+		lists = &core.PairList{}
+	}
+	finishNode := func() {
+		threshold := rd.cfg().RendezvousThreshold
+		if threshold == 0 {
+			threshold = core.DefaultRendezvousThreshold
+		}
+		if lists.Size() > 0 && (isRoot || (threshold > 0 && lists.Size() >= threshold)) {
+			for _, p := range lists.Pair(rd.global.Lmin) {
+				rd.emitPair(n, p)
+			}
+		}
+		cb(lists)
+	}
+	if n.IsLeaf() {
+		finishNode()
+		return
+	}
+	pending := 0
+	closed := false
+	closeEpoch := func() {
+		if closed {
+			return
+		}
+		closed = true
+		finishNode()
+	}
+	for _, c := range n.Children {
+		if c == nil {
+			continue
+		}
+		c := c
+		pending++
+		edge := rd.r.tree.EdgeLatency(c)
+		eng.CountMessage(MsgVSADown, edge)
+		eng.Schedule(edge, func() {
+			rd.collectVSA(c, false, func(sub *core.PairList) {
+				eng.CountMessage(MsgVSAUp, edge)
+				eng.Schedule(edge, func() {
+					if closed {
+						return
+					}
+					lists.Merge(sub)
+					pending--
+					if pending == 0 {
+						closeEpoch()
+					}
+				})
+			})
+		})
+	}
+	if pending == 0 {
+		closeEpoch()
+		return
+	}
+	eng.Schedule(rd.epochWindow(n), func() {
+		if !closed {
+			rd.res.TimedOutChildren += pending
+			closeEpoch()
+		}
+	})
+}
+
+// emitPair sends the pairing to both endpoints and starts the transfer.
+func (rd *round) emitPair(rendezvous *ktree.Node, p core.Pair) {
+	eng := rd.r.eng
+	host := rendezvous.Host.Owner
+	costFrom := rd.r.ring.Latency(host, p.From) + 1
+	costTo := rd.r.ring.Latency(host, p.To) + 1
+	eng.CountMessage(MsgAssign, costFrom)
+	eng.CountMessage(MsgAssign, costTo)
+	assignedAt := eng.Now() - rd.start
+	rd.outstandingTransfers++
+	eng.Schedule(costFrom, func() {
+		// The heavy node starts the transfer on notification; it
+		// completes after the inter-node latency.
+		if !p.From.Alive || !p.To.Alive || p.VS.Owner != p.From {
+			rd.res.AbortedTransfers++
+			rd.transferDone()
+			return
+		}
+		duration := rd.r.ring.Latency(p.From, p.To) + 1
+		eng.CountMessage(MsgTransfer, duration)
+		eng.Schedule(duration, func() {
+			if !p.To.Alive {
+				rd.res.AbortedTransfers++
+				rd.transferDone()
+				return
+			}
+			rd.r.ring.Transfer(p.VS, p.To)
+			hops := rd.transferCost(p.From, p.To)
+			rd.res.Assignments = append(rd.res.Assignments, core.Assignment{
+				VS: p.VS, From: p.From, To: p.To, Load: p.Load,
+				Hops: hops, AssignedAt: assignedAt, Depth: rendezvous.Depth,
+			})
+			rd.res.MovedLoad += p.Load
+			rd.res.MovedByHops.Add(hops, p.Load)
+			if t := eng.Now() - rd.start; t > rd.res.TimeVSTComplete {
+				rd.res.TimeVSTComplete = t
+			}
+			rd.transferDone()
+		})
+	})
+}
+
+func (rd *round) transferCost(from, to *chord.Node) int {
+	if tc := rd.cfg().TransferCost; tc != nil {
+		return tc(from, to)
+	}
+	return int(rd.r.ring.Latency(from, to))
+}
+
+func (rd *round) transferDone() {
+	rd.outstandingTransfers--
+	rd.maybeFinish()
+}
+
+// maybeFinish closes the round when the VSA sweep and every transfer
+// have completed: final census, lazy KT migration (tree repair), and
+// the caller's completion callback.
+func (rd *round) maybeFinish() {
+	if !rd.vsaDone || rd.outstandingTransfers > 0 {
+		return
+	}
+	var heavy, light, neutral int
+	for _, n := range rd.r.ring.Nodes() {
+		if !n.Alive {
+			continue
+		}
+		st := core.ClassifyNode(n, rd.global, rd.cfg().Epsilon, rd.cfg().Subset)
+		switch st.Class {
+		case core.Heavy:
+			heavy++
+		case core.Light:
+			light++
+		default:
+			neutral++
+		}
+	}
+	rd.res.HeavyAfter, rd.res.LightAfter, rd.res.NeutralAfter = heavy, light, neutral
+	if _, err := rd.r.tree.Repair(); err != nil {
+		rd.done(nil, err)
+		return
+	}
+	rd.done(rd.res, nil)
+}

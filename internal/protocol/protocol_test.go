@@ -1,0 +1,430 @@
+package protocol
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"p2plb/internal/chord"
+	"p2plb/internal/core"
+	"p2plb/internal/ktree"
+	"p2plb/internal/proximity"
+	"p2plb/internal/sim"
+	"p2plb/internal/topology"
+	"p2plb/internal/workload"
+)
+
+// fixture builds a loaded heterogeneous ring + tree on a fresh engine.
+func fixture(seed int64, nodes, vsPer int) (*chord.Ring, *ktree.Tree) {
+	eng := sim.NewEngine(seed)
+	ring := chord.NewRing(eng, chord.Config{})
+	profile := workload.GnutellaProfile()
+	for i := 0; i < nodes; i++ {
+		ring.AddNode(-1, profile.Sample(eng.Rand()), vsPer)
+	}
+	mu := float64(nodes) * 100
+	model := workload.Gaussian{Mu: mu, Sigma: mu / 400}
+	for _, vs := range ring.VServers() {
+		vs.Load = model.Load(eng.Rand(), ring.RegionOf(vs).Fraction())
+	}
+	tree, err := ktree.New(ring, 2)
+	if err != nil {
+		panic(err)
+	}
+	if err := tree.Build(); err != nil {
+		panic(err)
+	}
+	return ring, tree
+}
+
+func runOneRound(t *testing.T, ring *chord.Ring, tree *ktree.Tree, cfg Config) *Result {
+	t.Helper()
+	r, err := NewRunner(ring, tree, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out *Result
+	var outErr error
+	if err := r.StartRound(func(res *Result, err error) { out, outErr = res, err }); err != nil {
+		t.Fatal(err)
+	}
+	ring.Engine().Run()
+	if outErr != nil {
+		t.Fatal(outErr)
+	}
+	if out == nil {
+		t.Fatal("round never completed")
+	}
+	return out
+}
+
+func TestNewRunnerValidation(t *testing.T) {
+	ring, tree := fixture(1, 16, 3)
+	if _, err := NewRunner(ring, tree, Config{Core: core.Config{Epsilon: -1}}); err == nil {
+		t.Error("invalid core config should fail")
+	}
+	if _, err := NewRunner(ring, tree, Config{ChildTimeout: -1}); err == nil {
+		t.Error("negative timeout should fail")
+	}
+	other, _ := fixture(2, 8, 2)
+	otherTree, _ := ktree.New(other, 2)
+	if _, err := NewRunner(ring, otherTree, Config{}); err == nil {
+		t.Error("mismatched ring/tree should fail")
+	}
+}
+
+func TestRoundBalancesStaticRing(t *testing.T) {
+	ring, tree := fixture(3, 192, 5)
+	res := runOneRound(t, ring, tree, Config{Core: core.Config{Epsilon: 0.05}})
+	if res.HeavyBefore < 96 {
+		t.Fatalf("fixture too tame: %d heavy", res.HeavyBefore)
+	}
+	if res.HeavyAfter != 0 {
+		t.Errorf("%d heavy remain (unassigned offers: %d)", res.HeavyAfter, res.UnassignedOffers)
+	}
+	if res.TimedOutChildren != 0 || res.AbortedTransfers != 0 {
+		t.Errorf("static ring should have no timeouts/aborts: %d/%d",
+			res.TimedOutChildren, res.AbortedTransfers)
+	}
+	if res.NodesClassified != 192 {
+		t.Errorf("classified %d nodes, want 192", res.NodesClassified)
+	}
+	if math.Abs(res.MovedByHops.Total()-res.MovedLoad) > 1e-6 {
+		t.Error("histogram total diverges from moved load")
+	}
+	ring.CheckInvariants()
+	tree.CheckInvariants()
+}
+
+func TestProtocolMatchesAnalyticOutcome(t *testing.T) {
+	// The message-level execution and the closed-form Balancer must
+	// agree on the global tuple and balancing effectiveness for the
+	// same workload (exact assignments differ: RNG draws happen in a
+	// different order).
+	ringA, treeA := fixture(4, 160, 5)
+	resA := runOneRound(t, ringA, treeA, Config{Core: core.Config{Epsilon: 0.05}})
+
+	ringB, treeB := fixture(4, 160, 5)
+	bal, err := core.NewBalancer(ringB, treeB, core.Config{Epsilon: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := bal.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if resA.Global != resB.Global {
+		t.Errorf("global LBI differs: %+v vs %+v", resA.Global, resB.Global)
+	}
+	if resA.HeavyBefore != resB.HeavyBefore {
+		t.Errorf("heavy-before differs: %d vs %d", resA.HeavyBefore, resB.HeavyBefore)
+	}
+	if resA.HeavyAfter != 0 || resB.HeavyAfter != 0 {
+		t.Errorf("both should fully balance: %d vs %d", resA.HeavyAfter, resB.HeavyAfter)
+	}
+	// Moved load should agree closely (same classification, same
+	// pairing rules; leaf-choice randomness shifts a little).
+	if math.Abs(resA.MovedLoad-resB.MovedLoad) > 0.05*resB.MovedLoad {
+		t.Errorf("moved load diverges: %.0f vs %.0f", resA.MovedLoad, resB.MovedLoad)
+	}
+}
+
+func TestRoundDeterministic(t *testing.T) {
+	run := func() *Result {
+		ring, tree := fixture(5, 96, 4)
+		return runOneRound(t, ring, tree, Config{Core: core.Config{Epsilon: 0.05}})
+	}
+	a, b := run(), run()
+	if a.MovedLoad != b.MovedLoad || len(a.Assignments) != len(b.Assignments) ||
+		a.TimeVSAComplete != b.TimeVSAComplete || a.TimeVSTComplete != b.TimeVSTComplete {
+		t.Fatalf("nondeterministic: %+v vs %+v", a.Result, b.Result)
+	}
+}
+
+func TestPhaseTimesOrdered(t *testing.T) {
+	ring, tree := fixture(6, 128, 4)
+	res := runOneRound(t, ring, tree, Config{Core: core.Config{Epsilon: 0.05}})
+	if !(res.TimeLBIAggregate > 0 &&
+		res.TimeLBIAggregate <= res.TimeLBIDisseminate &&
+		res.TimeLBIDisseminate <= res.TimeVSAComplete &&
+		res.TimeVSAComplete <= res.TimeVSTComplete) {
+		t.Fatalf("phase times out of order: %d %d %d %d",
+			res.TimeLBIAggregate, res.TimeLBIDisseminate,
+			res.TimeVSAComplete, res.TimeVSTComplete)
+	}
+}
+
+func TestMessageAccounting(t *testing.T) {
+	ring, tree := fixture(7, 96, 4)
+	eng := ring.Engine()
+	eng.ResetMessageStats()
+	res := runOneRound(t, ring, tree, Config{Core: core.Config{Epsilon: 0.05}})
+	for _, kind := range []string{MsgCollectDown, MsgReportUp, MsgDisperse, MsgVSADown, MsgVSAUp, MsgAssign, MsgTransfer} {
+		if eng.MessageCount(kind) == 0 {
+			t.Errorf("no %s messages", kind)
+		}
+	}
+	// One collect down and one report up per tree edge.
+	edges := int64(tree.NumNodes() - 1)
+	if got := eng.MessageCount(MsgCollectDown); got != edges {
+		t.Errorf("collect messages %d, want %d", got, edges)
+	}
+	if got := eng.MessageCount(MsgAssign); got < 2*int64(len(res.Assignments)) {
+		t.Errorf("assign messages %d for %d assignments", got, len(res.Assignments))
+	}
+}
+
+func TestCrashDuringLBIPhase(t *testing.T) {
+	// Kill a batch of nodes immediately after the round starts: their
+	// KT subtrees go silent, parents time out, and the round still
+	// completes with partial data.
+	ring, tree := fixture(8, 128, 4)
+	eng := ring.Engine()
+	r, err := NewRunner(ring, tree, Config{
+		Core:         core.Config{Epsilon: 0.05},
+		ChildTimeout: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out *Result
+	var outErr error
+	if err := r.StartRound(func(res *Result, err error) { out, outErr = res, err }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Schedule(1, func() {
+		alive := ring.AliveNodes()
+		for i := 0; i < 16; i++ {
+			// Never kill the root's host (a dead root fails the round
+			// by deadline; tested separately).
+			victim := alive[len(alive)-1-i]
+			if victim == tree.Root().Host.Owner {
+				continue
+			}
+			ring.RemoveNode(victim)
+		}
+	})
+	eng.Run()
+	if outErr != nil {
+		t.Fatal(outErr)
+	}
+	if out == nil {
+		t.Fatal("round did not complete despite timeouts")
+	}
+	if out.TimedOutChildren == 0 {
+		t.Error("expected timed-out children after crashing 16 nodes")
+	}
+	// Partial data still yields a valid (if incomplete) balance pass.
+	if !out.Global.Valid() {
+		t.Error("global tuple should still be valid")
+	}
+	ring.CheckInvariants()
+	// After repair, a fresh round completes cleanly.
+	if _, err := tree.Repair(); err != nil {
+		t.Fatal(err)
+	}
+	res2 := runOneRound(t, ring, tree, Config{Core: core.Config{Epsilon: 0.05}})
+	if res2.TimedOutChildren != 0 {
+		t.Errorf("post-repair round still timing out: %d", res2.TimedOutChildren)
+	}
+	tree.CheckInvariants()
+}
+
+func TestCrashedTransferEndpointAborts(t *testing.T) {
+	// Kill nodes midway through the round (after LBI, during VSA/VST):
+	// transfers to/from dead endpoints abort, everything else lands.
+	ring, tree := fixture(9, 128, 4)
+	eng := ring.Engine()
+	r, _ := NewRunner(ring, tree, Config{
+		Core:         core.Config{Epsilon: 0.05},
+		ChildTimeout: 500,
+	})
+	var out *Result
+	r.StartRound(func(res *Result, err error) {
+		if err != nil {
+			t.Error(err)
+		}
+		out = res
+	})
+	// LBI up+down takes ~4*height; strike during the VSA/VST window.
+	eng.Schedule(150, func() {
+		alive := ring.AliveNodes()
+		for i := 0; i < 24; i++ {
+			victim := alive[len(alive)-1-i]
+			if victim == tree.Root().Host.Owner {
+				continue
+			}
+			ring.RemoveNode(victim)
+		}
+	})
+	eng.Run()
+	if out == nil {
+		t.Fatal("round did not complete")
+	}
+	t.Logf("aborted=%d timedOut=%d assignments=%d heavyAfter=%d",
+		out.AbortedTransfers, out.TimedOutChildren, len(out.Assignments), out.HeavyAfter)
+	for _, a := range out.Assignments {
+		if a.VS.Owner != a.To {
+			t.Error("completed assignment whose VS is not at its destination")
+		}
+	}
+	ring.CheckInvariants()
+}
+
+func TestRootDeathFailsRoundByDeadline(t *testing.T) {
+	ring, tree := fixture(10, 64, 4)
+	eng := ring.Engine()
+	r, _ := NewRunner(ring, tree, Config{
+		Core:         core.Config{Epsilon: 0.05},
+		ChildTimeout: 100,
+	})
+	completed := false
+	var roundErr error
+	r.StartRound(func(res *Result, err error) {
+		completed = true
+		roundErr = err
+	})
+	eng.Schedule(1, func() {
+		ring.RemoveNode(tree.Root().Host.Owner)
+	})
+	eng.Run()
+	if !completed {
+		t.Fatal("round never resolved")
+	}
+	if roundErr == nil {
+		t.Fatal("expected a deadline error after root death")
+	}
+}
+
+func TestOnlyOneActiveRound(t *testing.T) {
+	ring, tree := fixture(11, 32, 3)
+	r, _ := NewRunner(ring, tree, Config{Core: core.Config{Epsilon: 0.05}})
+	if err := r.StartRound(func(*Result, error) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.StartRound(func(*Result, error) {}); err == nil {
+		t.Fatal("second concurrent round must be rejected")
+	}
+	ring.Engine().Run()
+	// After completion a new round is allowed again.
+	if err := r.StartRound(func(*Result, error) {}); err != nil {
+		t.Fatalf("round after completion rejected: %v", err)
+	}
+	ring.Engine().Run()
+}
+
+func TestEmptyRingRejected(t *testing.T) {
+	eng := sim.NewEngine(1)
+	ring := chord.NewRing(eng, chord.Config{})
+	tree, _ := ktree.New(ring, 2)
+	r, _ := NewRunner(ring, tree, Config{})
+	if err := r.StartRound(func(*Result, error) {}); err == nil {
+		t.Fatal("empty ring must be rejected")
+	}
+}
+
+func TestRepeatedRoundsConverge(t *testing.T) {
+	ring, tree := fixture(12, 128, 5)
+	r, _ := NewRunner(ring, tree, Config{Core: core.Config{Epsilon: 0.05}})
+	var lastMoved float64
+	for i := 0; i < 3; i++ {
+		var out *Result
+		if err := r.StartRound(func(res *Result, err error) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = res
+		}); err != nil {
+			t.Fatal(err)
+		}
+		ring.Engine().Run()
+		if i == 0 {
+			lastMoved = out.MovedLoad
+		} else if out.MovedLoad > lastMoved/4 {
+			t.Errorf("round %d still moved %.0f (first: %.0f)", i, out.MovedLoad, lastMoved)
+		}
+	}
+}
+
+func TestAwareRoundWithPrefixRouting(t *testing.T) {
+	// The proximity-aware round over a transit-stub underlay, once with
+	// Chord finger routing and once with Pastry-style prefix routing:
+	// identical balancing outcome, different lookup paths.
+	build := func() (*chord.Ring, *ktree.Tree, core.Config) {
+		g, err := topology.Generate(topology.Params{
+			TransitDomains:        3,
+			TransitNodesPerDomain: 2,
+			StubsPerTransitNode:   3,
+			StubDomainSizeMean:    30,
+			TransitEdgeProb:       0.6,
+			TransitDomainEdgeProb: 0.5,
+			StubEdgeProb:          0.42,
+			Seed:                  55,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lat := topology.NewDistancesMetric(g, topology.LatencyMetric)
+		eng := sim.NewEngine(55)
+		ring := chord.NewRing(eng, chord.Config{Latency: chord.TopologyLatency(lat)})
+		profile := workload.GnutellaProfile()
+		underlays := g.SampleStubNodes(eng.Rand(), 256)
+		for i := 0; i < 256; i++ {
+			ring.AddNode(underlays[i], profile.Sample(eng.Rand()), 5)
+		}
+		mu := 256.0 * 100
+		model := workload.Gaussian{Mu: mu, Sigma: mu / 400}
+		for _, vs := range ring.VServers() {
+			vs.Load = model.Load(eng.Rand(), ring.RegionOf(vs).Fraction())
+		}
+		tree, err := ktree.New(ring, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tree.Build(); err != nil {
+			t.Fatal(err)
+		}
+		lm, err := proximity.ChooseSpread(g, lat, rand.New(rand.NewSource(55)), proximity.DefaultLandmarkCount)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mapper, err := proximity.NewMapper(lm, proximity.DefaultBitsPerDimension)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ring, tree, core.Config{Mode: core.ProximityAware, Epsilon: 0.05, Mapper: mapper}
+	}
+	results := map[bool]*Result{}
+	for _, prefix := range []bool{false, true} {
+		ring, tree, coreCfg := build()
+		r, err := NewRunner(ring, tree, Config{Core: coreCfg, PrefixRouting: prefix})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out *Result
+		if err := r.StartRound(func(res *Result, err error) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = res
+		}); err != nil {
+			t.Fatal(err)
+		}
+		ring.Engine().Run()
+		results[prefix] = out
+		if prefix && ring.Engine().MessageCount(chord.MsgPrefixHop) == 0 {
+			t.Error("prefix routing produced no prefix hops")
+		}
+		if !prefix && ring.Engine().MessageCount(chord.MsgPrefixHop) != 0 {
+			t.Error("finger routing produced prefix hops")
+		}
+	}
+	a, b := results[false], results[true]
+	if a.HeavyAfter != 0 || b.HeavyAfter != 0 {
+		t.Errorf("rounds left heavy nodes: %d / %d", a.HeavyAfter, b.HeavyAfter)
+	}
+	if a.Global != b.Global || a.HeavyBefore != b.HeavyBefore {
+		t.Error("routing scheme changed classification — it must not")
+	}
+}

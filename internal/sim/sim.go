@@ -1,0 +1,187 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The whole protocol stack — Chord lookups, K-nary tree maintenance,
+// heartbeats, LBI aggregation epochs, VSA converge-casts and virtual
+// server transfers — runs as events on this engine. Virtual time is
+// measured in the same latency units as topology distances (an
+// intradomain underlay hop is 1 unit). Events with equal timestamps fire
+// in scheduling order, so a run is a pure function of the seed and the
+// initial event set.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Time is a point in virtual time, in latency units.
+type Time int64
+
+// Event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Engine is a deterministic event queue with virtual time, a seeded RNG
+// and per-kind message accounting. It is not safe for concurrent use;
+// each simulation instance owns one engine (multi-trial experiments run
+// one engine per goroutine).
+type Engine struct {
+	now      Time
+	seq      uint64
+	events   eventHeap
+	rng      *rand.Rand
+	msgCount map[string]int64
+	msgCost  map[string]int64
+	executed uint64
+}
+
+// NewEngine returns an engine at time 0 with a deterministic RNG.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		rng:      rand.New(rand.NewSource(seed)),
+		msgCount: make(map[string]int64),
+		msgCost:  make(map[string]int64),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's RNG. All randomness in a simulation must come
+// from here to keep runs reproducible.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Schedule runs fn after delay units of virtual time. A zero delay runs
+// fn after all events already scheduled for the current instant.
+// Negative delays panic.
+func (e *Engine) Schedule(delay Time, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", delay))
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// Every schedules fn to run now+interval, now+2·interval, … until the
+// returned cancel function is called. The interval must be positive.
+func (e *Engine) Every(interval Time, fn func()) (cancel func()) {
+	if interval <= 0 {
+		panic(fmt.Sprintf("sim: non-positive interval %d", interval))
+	}
+	stopped := false
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		e.Schedule(interval, tick)
+	}
+	e.Schedule(interval, tick)
+	return func() { stopped = true }
+}
+
+// Step executes the next pending event, advancing virtual time to its
+// timestamp. It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	e.executed++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty and returns the number of
+// events executed. Do not call it while periodic timers are active — the
+// queue never drains; use RunUntil instead.
+func (e *Engine) Run() uint64 {
+	start := e.executed
+	for e.Step() {
+	}
+	return e.executed - start
+}
+
+// RunUntil executes events with timestamps <= deadline, then sets the
+// clock to deadline. Events scheduled beyond the deadline remain queued.
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.events) > 0 && e.events[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Executed returns the total number of events executed so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// CountMessage records one protocol message of the given kind with the
+// given delivery cost (latency units). Protocol code calls this once per
+// simulated message so experiments can report per-phase message and
+// bandwidth-proxy totals.
+func (e *Engine) CountMessage(kind string, cost Time) {
+	e.msgCount[kind]++
+	e.msgCost[kind] += int64(cost)
+}
+
+// MessageCount returns how many messages of kind were counted.
+func (e *Engine) MessageCount(kind string) int64 { return e.msgCount[kind] }
+
+// MessageCost returns the total delivery cost of messages of kind.
+func (e *Engine) MessageCost(kind string) int64 { return e.msgCost[kind] }
+
+// MessageKinds returns all message kinds seen, sorted.
+func (e *Engine) MessageKinds() []string {
+	kinds := make([]string, 0, len(e.msgCount))
+	for k := range e.msgCount {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return kinds
+}
+
+// TotalMessages returns the count of all messages of every kind.
+func (e *Engine) TotalMessages() int64 {
+	var n int64
+	for _, c := range e.msgCount {
+		n += c
+	}
+	return n
+}
+
+// ResetMessageStats clears message accounting (used between experiment
+// phases so each phase reports its own traffic).
+func (e *Engine) ResetMessageStats() {
+	e.msgCount = make(map[string]int64)
+	e.msgCost = make(map[string]int64)
+}

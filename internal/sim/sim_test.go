@@ -1,0 +1,218 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	e.Schedule(10, func() { order = append(order, 3) })
+	e.Schedule(5, func() { order = append(order, 2) })
+	e.Schedule(0, func() { order = append(order, 1) })
+	n := e.Run()
+	if n != 3 {
+		t.Fatalf("executed %d events, want 3", n)
+	}
+	for i, v := range order {
+		if v != i+1 {
+			t.Fatalf("order = %v", order)
+		}
+	}
+	if e.Now() != 10 {
+		t.Fatalf("final time = %d, want 10", e.Now())
+	}
+}
+
+func TestEqualTimestampsFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(7, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: order[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine(1)
+	var times []Time
+	e.Schedule(1, func() {
+		times = append(times, e.Now())
+		e.Schedule(2, func() {
+			times = append(times, e.Now())
+			e.Schedule(0, func() { times = append(times, e.Now()) })
+		})
+	})
+	e.Run()
+	want := []Time{1, 3, 3}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("times = %v, want %v", times, want)
+		}
+	}
+}
+
+func TestZeroDelayRunsAfterCurrentInstant(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	e.Schedule(0, func() {
+		order = append(order, 1)
+		e.Schedule(0, func() { order = append(order, 3) })
+	})
+	e.Schedule(0, func() { order = append(order, 2) })
+	e.Run()
+	for i, v := range order {
+		if v != i+1 {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay should panic")
+		}
+	}()
+	NewEngine(1).Schedule(-1, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	fired := map[Time]bool{}
+	for _, d := range []Time{5, 10, 15, 20} {
+		d := d
+		e.Schedule(d, func() { fired[d] = true })
+	}
+	e.RunUntil(12)
+	if !fired[5] || !fired[10] || fired[15] || fired[20] {
+		t.Fatalf("fired = %v", fired)
+	}
+	if e.Now() != 12 {
+		t.Fatalf("Now = %d, want 12", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	e.RunUntil(100)
+	if !fired[15] || !fired[20] || e.Pending() != 0 {
+		t.Fatal("remaining events not drained")
+	}
+}
+
+func TestEvery(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	var cancel func()
+	cancel = e.Every(10, func() {
+		count++
+		if count == 5 {
+			cancel()
+		}
+	})
+	e.RunUntil(1000)
+	if count != 5 {
+		t.Fatalf("periodic fired %d times, want 5 (cancel failed?)", count)
+	}
+	if e.Now() != 1000 {
+		t.Fatalf("Now = %d", e.Now())
+	}
+}
+
+func TestEveryInvalidInterval(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Every(0) should panic")
+		}
+	}()
+	NewEngine(1).Every(0, func() {})
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []int64 {
+		e := NewEngine(42)
+		var trace []int64
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			trace = append(trace, int64(e.Now()))
+			if depth == 0 {
+				return
+			}
+			for i := 0; i < 3; i++ {
+				d := Time(e.Rand().Intn(10))
+				e.Schedule(d, func() { spawn(depth - 1) })
+			}
+		}
+		e.Schedule(0, func() { spawn(4) })
+		e.Run()
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestMessageAccounting(t *testing.T) {
+	e := NewEngine(1)
+	e.CountMessage("lookup", 3)
+	e.CountMessage("lookup", 5)
+	e.CountMessage("heartbeat", 1)
+	if e.MessageCount("lookup") != 2 || e.MessageCost("lookup") != 8 {
+		t.Fatalf("lookup stats: %d/%d", e.MessageCount("lookup"), e.MessageCost("lookup"))
+	}
+	if e.TotalMessages() != 3 {
+		t.Fatalf("TotalMessages = %d", e.TotalMessages())
+	}
+	kinds := e.MessageKinds()
+	if len(kinds) != 2 || kinds[0] != "heartbeat" || kinds[1] != "lookup" {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	e.ResetMessageStats()
+	if e.TotalMessages() != 0 || e.MessageCount("lookup") != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestExecutedCounter(t *testing.T) {
+	e := NewEngine(1)
+	for i := 0; i < 10; i++ {
+		e.Schedule(Time(i), func() {})
+	}
+	if e.Executed() != 0 {
+		t.Fatal("Executed before run should be 0")
+	}
+	e.Run()
+	if e.Executed() != 10 {
+		t.Fatalf("Executed = %d", e.Executed())
+	}
+}
+
+func TestStepOnEmptyQueue(t *testing.T) {
+	e := NewEngine(1)
+	if e.Step() {
+		t.Fatal("Step on empty queue should return false")
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	e := NewEngine(1)
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Time(i%64), func() {})
+		if i%1024 == 1023 {
+			e.Run()
+		}
+	}
+	e.Run()
+}

@@ -1,0 +1,232 @@
+// Package stats implements the descriptive statistics the experiment
+// harness reports: summaries (mean/stddev/percentiles), weighted
+// histograms and CDFs over integer buckets (used for the moved-load
+// versus hop-distance figures), grouped aggregation by class (used for
+// the load-by-capacity figures), and load-imbalance metrics.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64 // sample standard deviation (n-1 denominator)
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Summary of xs. It returns a zero Summary for an
+// empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	s.Median = Percentile(xs, 50)
+	return s
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between order statistics. It does not modify xs.
+// It returns NaN for an empty sample.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Gini returns the Gini coefficient of the non-negative sample xs:
+// 0 for perfectly equal values, approaching 1 for maximal inequality.
+// It returns 0 for empty samples or all-zero samples.
+func Gini(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	var cum, total float64
+	for i, x := range sorted {
+		cum += x * float64(i+1)
+		total += x
+	}
+	if total == 0 {
+		return 0
+	}
+	n := float64(len(sorted))
+	return (2*cum)/(n*total) - (n+1)/n
+}
+
+// WeightedHistogram accumulates weights into integer buckets. Buckets grow
+// on demand; bucket b collects the total weight of observations with
+// integer coordinate b. It backs the "percentage of total moved load vs
+// hop distance" plots: the coordinate is a hop count, the weight a load.
+type WeightedHistogram struct {
+	buckets []float64
+	total   float64
+}
+
+// Add adds weight w at integer coordinate b (negative coordinates panic,
+// hop distances are never negative).
+func (h *WeightedHistogram) Add(b int, w float64) {
+	if b < 0 {
+		panic(fmt.Sprintf("stats: negative histogram bucket %d", b))
+	}
+	for len(h.buckets) <= b {
+		h.buckets = append(h.buckets, 0)
+	}
+	h.buckets[b] += w
+	h.total += w
+}
+
+// Merge adds all of o's buckets into h.
+func (h *WeightedHistogram) Merge(o *WeightedHistogram) {
+	for b, w := range o.buckets {
+		if w != 0 {
+			h.Add(b, w)
+		}
+	}
+}
+
+// Total returns the total accumulated weight.
+func (h *WeightedHistogram) Total() float64 { return h.total }
+
+// MaxBucket returns the largest coordinate that has been touched, or -1
+// if the histogram is empty.
+func (h *WeightedHistogram) MaxBucket() int { return len(h.buckets) - 1 }
+
+// Weight returns the raw weight in bucket b (0 if never touched).
+func (h *WeightedHistogram) Weight(b int) float64 {
+	if b < 0 || b >= len(h.buckets) {
+		return 0
+	}
+	return h.buckets[b]
+}
+
+// PDF returns, per bucket 0..MaxBucket, the fraction of total weight in
+// that bucket. It returns nil for an empty histogram.
+func (h *WeightedHistogram) PDF() []float64 {
+	if h.total == 0 {
+		return nil
+	}
+	out := make([]float64, len(h.buckets))
+	for i, w := range h.buckets {
+		out[i] = w / h.total
+	}
+	return out
+}
+
+// CDF returns, per bucket b, the fraction of total weight at coordinates
+// <= b. The final element is 1 (up to rounding). It returns nil for an
+// empty histogram.
+func (h *WeightedHistogram) CDF() []float64 {
+	pdf := h.PDF()
+	if pdf == nil {
+		return nil
+	}
+	cum := 0.0
+	out := make([]float64, len(pdf))
+	for i, p := range pdf {
+		cum += p
+		out[i] = cum
+	}
+	return out
+}
+
+// FractionWithin returns the fraction of total weight at coordinates <= b.
+func (h *WeightedHistogram) FractionWithin(b int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var cum float64
+	for i := 0; i <= b && i < len(h.buckets); i++ {
+		cum += h.buckets[i]
+	}
+	return cum / h.total
+}
+
+// GroupedSum aggregates (class → total value, count). It backs the
+// load-by-capacity-class figures.
+type GroupedSum struct {
+	order []float64
+	sums  map[float64]float64
+	cnts  map[float64]int
+}
+
+// NewGroupedSum returns an empty GroupedSum.
+func NewGroupedSum() *GroupedSum {
+	return &GroupedSum{sums: make(map[float64]float64), cnts: make(map[float64]int)}
+}
+
+// Add records value v for class key.
+func (g *GroupedSum) Add(key, v float64) {
+	if _, ok := g.sums[key]; !ok {
+		g.order = append(g.order, key)
+	}
+	g.sums[key] += v
+	g.cnts[key]++
+}
+
+// Classes returns the class keys in ascending order.
+func (g *GroupedSum) Classes() []float64 {
+	out := make([]float64, len(g.order))
+	copy(out, g.order)
+	sort.Float64s(out)
+	return out
+}
+
+// Sum returns the total value recorded for class key.
+func (g *GroupedSum) Sum(key float64) float64 { return g.sums[key] }
+
+// Count returns the number of observations for class key.
+func (g *GroupedSum) Count(key float64) int { return g.cnts[key] }
+
+// Mean returns the mean value for class key (0 if unseen).
+func (g *GroupedSum) Mean(key float64) float64 {
+	if g.cnts[key] == 0 {
+		return 0
+	}
+	return g.sums[key] / float64(g.cnts[key])
+}

@@ -1,0 +1,215 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if !almost(s.Mean, 5, 1e-12) {
+		t.Errorf("Mean = %v", s.Mean)
+	}
+	// Sample std of this classic set: variance = 32/7.
+	if !almost(s.Std, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Errorf("Std = %v", s.Std)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	if !almost(s.Median, 4.5, 1e-12) {
+		t.Errorf("Median = %v", s.Median)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 || s.Std != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	s := Summarize([]float64{3.5})
+	if s.N != 1 || s.Mean != 3.5 || s.Std != 0 || s.Min != 3.5 || s.Max != 3.5 || s.Median != 3.5 {
+		t.Errorf("single summary = %+v", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 5}, {50, 3}, {25, 2}, {75, 4}, {-5, 1}, {110, 5}, {10, 1.4},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almost(got, c.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("Percentile(nil) should be NaN")
+	}
+	// Must not mutate input.
+	ys := []float64{3, 1, 2}
+	Percentile(ys, 50)
+	if ys[0] != 3 || ys[1] != 1 || ys[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = rng.Float64() * 100
+	}
+	prev := math.Inf(-1)
+	for p := 0.0; p <= 100; p += 2.5 {
+		v := Percentile(xs, p)
+		if v < prev {
+			t.Fatalf("percentile not monotone at p=%v: %v < %v", p, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestGini(t *testing.T) {
+	if g := Gini([]float64{5, 5, 5, 5}); !almost(g, 0, 1e-12) {
+		t.Errorf("equal Gini = %v", g)
+	}
+	// One owner of everything among n → (n-1)/n.
+	if g := Gini([]float64{0, 0, 0, 10}); !almost(g, 0.75, 1e-12) {
+		t.Errorf("concentrated Gini = %v", g)
+	}
+	if g := Gini(nil); g != 0 {
+		t.Errorf("empty Gini = %v", g)
+	}
+	if g := Gini([]float64{0, 0}); g != 0 {
+		t.Errorf("all-zero Gini = %v", g)
+	}
+}
+
+func TestGiniBounds(t *testing.T) {
+	f := func(raw []uint32) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			xs = append(xs, float64(x))
+		}
+		g := Gini(xs)
+		return g >= -1e-9 && g < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightedHistogram(t *testing.T) {
+	var h WeightedHistogram
+	h.Add(0, 10)
+	h.Add(2, 30)
+	h.Add(2, 10)
+	h.Add(5, 50)
+	if h.Total() != 100 {
+		t.Fatalf("Total = %v", h.Total())
+	}
+	if h.MaxBucket() != 5 {
+		t.Fatalf("MaxBucket = %d", h.MaxBucket())
+	}
+	if h.Weight(2) != 40 || h.Weight(1) != 0 || h.Weight(99) != 0 {
+		t.Fatalf("Weight wrong: %v %v %v", h.Weight(2), h.Weight(1), h.Weight(99))
+	}
+	pdf := h.PDF()
+	want := []float64{0.1, 0, 0.4, 0, 0, 0.5}
+	for i := range want {
+		if !almost(pdf[i], want[i], 1e-12) {
+			t.Errorf("PDF[%d] = %v, want %v", i, pdf[i], want[i])
+		}
+	}
+	cdf := h.CDF()
+	wantCDF := []float64{0.1, 0.1, 0.5, 0.5, 0.5, 1.0}
+	for i := range wantCDF {
+		if !almost(cdf[i], wantCDF[i], 1e-12) {
+			t.Errorf("CDF[%d] = %v, want %v", i, cdf[i], wantCDF[i])
+		}
+	}
+	if !almost(h.FractionWithin(2), 0.5, 1e-12) {
+		t.Errorf("FractionWithin(2) = %v", h.FractionWithin(2))
+	}
+	if !almost(h.FractionWithin(100), 1, 1e-12) {
+		t.Errorf("FractionWithin(100) = %v", h.FractionWithin(100))
+	}
+}
+
+func TestWeightedHistogramEmpty(t *testing.T) {
+	var h WeightedHistogram
+	if h.PDF() != nil || h.CDF() != nil {
+		t.Error("empty histogram PDF/CDF should be nil")
+	}
+	if h.MaxBucket() != -1 {
+		t.Errorf("empty MaxBucket = %d", h.MaxBucket())
+	}
+	if h.FractionWithin(3) != 0 {
+		t.Error("empty FractionWithin should be 0")
+	}
+}
+
+func TestWeightedHistogramMerge(t *testing.T) {
+	var a, b WeightedHistogram
+	a.Add(1, 5)
+	b.Add(1, 5)
+	b.Add(3, 10)
+	a.Merge(&b)
+	if a.Total() != 20 || a.Weight(1) != 10 || a.Weight(3) != 10 {
+		t.Fatalf("merge wrong: total=%v w1=%v w3=%v", a.Total(), a.Weight(1), a.Weight(3))
+	}
+}
+
+func TestWeightedHistogramNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(-1) should panic")
+		}
+	}()
+	var h WeightedHistogram
+	h.Add(-1, 1)
+}
+
+func TestHistogramCDFMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var h WeightedHistogram
+	for i := 0; i < 1000; i++ {
+		h.Add(rng.Intn(40), rng.Float64())
+	}
+	cdf := h.CDF()
+	prev := 0.0
+	for i, v := range cdf {
+		if v+1e-12 < prev {
+			t.Fatalf("CDF decreases at %d: %v < %v", i, v, prev)
+		}
+		prev = v
+	}
+	if !almost(cdf[len(cdf)-1], 1, 1e-9) {
+		t.Fatalf("CDF final = %v", cdf[len(cdf)-1])
+	}
+}
+
+func TestGroupedSum(t *testing.T) {
+	g := NewGroupedSum()
+	g.Add(10, 1)
+	g.Add(1, 2)
+	g.Add(10, 3)
+	g.Add(100, 4)
+	classes := g.Classes()
+	if len(classes) != 3 || classes[0] != 1 || classes[1] != 10 || classes[2] != 100 {
+		t.Fatalf("Classes = %v", classes)
+	}
+	if g.Sum(10) != 4 || g.Count(10) != 2 || !almost(g.Mean(10), 2, 1e-12) {
+		t.Fatalf("class 10 stats wrong: %v %v %v", g.Sum(10), g.Count(10), g.Mean(10))
+	}
+	if g.Mean(555) != 0 || g.Count(555) != 0 {
+		t.Error("unseen class should report zeros")
+	}
+}

@@ -1,0 +1,552 @@
+// Package topology generates GT-ITM-style transit-stub network topologies
+// and answers shortest-path distance queries over them.
+//
+// The paper evaluates proximity-aware load balancing on two ~5000-node
+// transit-stub topologies produced by GT-ITM:
+//
+//   - "ts5k-large": 5 transit domains, 3 transit nodes per transit domain,
+//     5 stub domains attached to each transit node, and 60 nodes per stub
+//     domain on average — an overlay drawn from a few big stub domains.
+//   - "ts5k-small": 120 transit domains, 5 transit nodes per transit
+//     domain, 4 stub domains per transit node, 2 nodes per stub domain on
+//     average — an overlay scattered across the entire Internet.
+//
+// Following the paper, each interdomain edge costs 3 latency units and
+// each intradomain edge costs 1.
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"p2plb/internal/par"
+)
+
+// NodeID identifies an underlay node.
+type NodeID int32
+
+// Kind distinguishes transit from stub nodes.
+type Kind uint8
+
+// Node kinds.
+const (
+	Transit Kind = iota
+	Stub
+)
+
+func (k Kind) String() string {
+	if k == Transit {
+		return "transit"
+	}
+	return "stub"
+}
+
+// Weights of the two edge classes in the paper's hop-count convention:
+// an interdomain hop counts as 3 units, an intradomain hop as 1. All
+// reported transfer distances (Figures 7 and 8) use this metric.
+const (
+	IntraDomainWeight = 1
+	InterDomainWeight = 3
+)
+
+// Mean link latencies in milli-units for the two edge classes:
+// latency ~ U[0.5, 1.5]·Mean. GT-ITM graphs carry random per-link
+// latencies; the landmark measurements (and message timing) use this
+// jittered latency metric, while the figures report the deterministic
+// hop metric above. The intra/inter ratio is LAN-vs-WAN realistic
+// (~1:15), unlike the 3:1 hop-reporting convention.
+const (
+	IntraDomainLatencyMean = 20
+	InterDomainLatencyMean = 300
+)
+
+// Node carries a topology node's classification.
+type Node struct {
+	Kind   Kind
+	Domain int // globally unique domain index (transit and stub domains share the numbering)
+}
+
+// Edge is one adjacency entry.
+type Edge struct {
+	To NodeID
+	// Weight is the hop-convention distance (1 intra, 3 interdomain).
+	Weight int32
+	// Latency is the link's latency in milli-units, randomly jittered
+	// around Weight·LatencyScale.
+	Latency int32
+}
+
+// Graph is an undirected weighted transit-stub topology.
+type Graph struct {
+	nodes   []Node
+	adj     [][]Edge
+	domains int
+	stubs   []NodeID // all stub node ids, ascending
+	edges   int
+	genRand *rand.Rand // generation-time RNG (latency jitter)
+}
+
+// Params configures transit-stub generation.
+type Params struct {
+	TransitDomains        int     // number of transit domains
+	TransitNodesPerDomain int     // transit nodes per transit domain
+	StubsPerTransitNode   int     // stub domains attached to each transit node
+	StubDomainSizeMean    int     // average nodes per stub domain
+	TransitEdgeProb       float64 // extra intra-transit-domain edge probability
+	TransitDomainEdgeProb float64 // extra transit-domain interconnection probability (per domain pair)
+	StubEdgeProb          float64 // extra intra-stub-domain edge probability
+	Seed                  int64   // RNG seed; same Params ⇒ same graph
+}
+
+// TS5kLarge returns the "ts5k-large" parameters from the paper with the
+// given seed (the paper uses 10 graph instances per topology; vary the
+// seed to get them).
+func TS5kLarge(seed int64) Params {
+	return Params{
+		TransitDomains:        5,
+		TransitNodesPerDomain: 3,
+		StubsPerTransitNode:   5,
+		StubDomainSizeMean:    60,
+		TransitEdgeProb:       0.6,
+		TransitDomainEdgeProb: 0.5,
+		StubEdgeProb:          0.42,
+		Seed:                  seed,
+	}
+}
+
+// TS5kSmall returns the "ts5k-small" parameters from the paper.
+func TS5kSmall(seed int64) Params {
+	return Params{
+		TransitDomains:        120,
+		TransitNodesPerDomain: 5,
+		StubsPerTransitNode:   4,
+		StubDomainSizeMean:    2,
+		TransitEdgeProb:       0.6,
+		TransitDomainEdgeProb: 0.02,
+		StubEdgeProb:          0.42,
+		Seed:                  seed,
+	}
+}
+
+// Validate reports whether the parameters can produce a graph.
+func (p Params) Validate() error {
+	switch {
+	case p.TransitDomains < 1:
+		return fmt.Errorf("topology: TransitDomains %d < 1", p.TransitDomains)
+	case p.TransitNodesPerDomain < 1:
+		return fmt.Errorf("topology: TransitNodesPerDomain %d < 1", p.TransitNodesPerDomain)
+	case p.StubsPerTransitNode < 0:
+		return fmt.Errorf("topology: StubsPerTransitNode %d < 0", p.StubsPerTransitNode)
+	case p.StubDomainSizeMean < 1 && p.StubsPerTransitNode > 0:
+		return fmt.Errorf("topology: StubDomainSizeMean %d < 1", p.StubDomainSizeMean)
+	}
+	for _, pr := range []float64{p.TransitEdgeProb, p.TransitDomainEdgeProb, p.StubEdgeProb} {
+		if pr < 0 || pr > 1 {
+			return fmt.Errorf("topology: edge probability %v outside [0,1]", pr)
+		}
+	}
+	return nil
+}
+
+// Generate builds the transit-stub graph described by p. The result is
+// always connected. Generation is deterministic in p (including Seed).
+func Generate(p Params) (*Graph, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	g := &Graph{genRand: rand.New(rand.NewSource(p.Seed ^ 0x5DEECE66D))}
+
+	// Transit nodes first: domain d owns nodes [d*TN, (d+1)*TN).
+	tn := p.TransitNodesPerDomain
+	for d := 0; d < p.TransitDomains; d++ {
+		for i := 0; i < tn; i++ {
+			g.nodes = append(g.nodes, Node{Kind: Transit, Domain: d})
+		}
+	}
+	g.domains = p.TransitDomains
+	g.adj = make([][]Edge, len(g.nodes))
+
+	transitOf := func(d, i int) NodeID { return NodeID(d*tn + i) }
+
+	// Intra-transit-domain connectivity: spanning path + random extras.
+	for d := 0; d < p.TransitDomains; d++ {
+		for i := 1; i < tn; i++ {
+			g.addEdge(transitOf(d, i-1), transitOf(d, i), IntraDomainWeight)
+		}
+		for i := 0; i < tn; i++ {
+			for j := i + 2; j < tn; j++ {
+				if rng.Float64() < p.TransitEdgeProb {
+					g.addEdge(transitOf(d, i), transitOf(d, j), IntraDomainWeight)
+				}
+			}
+		}
+	}
+
+	// Transit-domain interconnection: a ring of domains guarantees
+	// connectivity; extra random domain pairs mimic GT-ITM's random
+	// transit graph.
+	if p.TransitDomains > 1 {
+		ringEdges := p.TransitDomains
+		if p.TransitDomains == 2 {
+			ringEdges = 1 // a two-domain "ring" is a single link
+		}
+		for d := 0; d < ringEdges; d++ {
+			e := (d + 1) % p.TransitDomains
+			g.addEdge(transitOf(d, rng.Intn(tn)), transitOf(e, rng.Intn(tn)), InterDomainWeight)
+		}
+		for d := 0; d < p.TransitDomains; d++ {
+			for e := d + 1; e < p.TransitDomains; e++ {
+				if (d+1)%p.TransitDomains == e || (e+1)%p.TransitDomains == d {
+					continue // ring already links them
+				}
+				if rng.Float64() < p.TransitDomainEdgeProb {
+					g.addEdge(transitOf(d, rng.Intn(tn)), transitOf(e, rng.Intn(tn)), InterDomainWeight)
+				}
+			}
+		}
+	}
+
+	// Stub domains: attached to every transit node.
+	for d := 0; d < p.TransitDomains; d++ {
+		for i := 0; i < tn; i++ {
+			attach := transitOf(d, i)
+			for s := 0; s < p.StubsPerTransitNode; s++ {
+				size := stubDomainSize(rng, p.StubDomainSizeMean)
+				g.addStubDomain(rng, attach, size, p.StubEdgeProb)
+			}
+		}
+	}
+	return g, nil
+}
+
+// stubDomainSize draws a stub-domain size uniformly from
+// [ceil(mean/2), floor(3·mean/2)], which has the requested mean and keeps
+// every domain non-empty.
+func stubDomainSize(rng *rand.Rand, mean int) int {
+	lo := (mean + 1) / 2
+	hi := mean * 3 / 2
+	if hi < lo {
+		hi = lo
+	}
+	return lo + rng.Intn(hi-lo+1)
+}
+
+// addStubDomain appends a connected stub domain of the given size,
+// wires it internally (random spanning tree + extra edges with prob
+// extraProb) and attaches one random member to the transit node attach.
+func (g *Graph) addStubDomain(rng *rand.Rand, attach NodeID, size int, extraProb float64) {
+	domain := g.domains
+	g.domains++
+	base := NodeID(len(g.nodes))
+	for i := 0; i < size; i++ {
+		g.nodes = append(g.nodes, Node{Kind: Stub, Domain: domain})
+		g.adj = append(g.adj, nil)
+		g.stubs = append(g.stubs, base+NodeID(i))
+	}
+	// Random spanning tree: node i links to a uniformly random earlier node.
+	for i := 1; i < size; i++ {
+		j := rng.Intn(i)
+		g.addEdge(base+NodeID(i), base+NodeID(j), IntraDomainWeight)
+	}
+	// Extra intra-stub edges.
+	for i := 0; i < size; i++ {
+		for j := i + 1; j < size; j++ {
+			if rng.Float64() < extraProb && !g.hasEdge(base+NodeID(i), base+NodeID(j)) {
+				g.addEdge(base+NodeID(i), base+NodeID(j), IntraDomainWeight)
+			}
+		}
+	}
+	// Attach the domain to its transit node (crosses domains: weight 3).
+	g.addEdge(base+NodeID(rng.Intn(size)), attach, InterDomainWeight)
+}
+
+func (g *Graph) addEdge(a, b NodeID, w int32) {
+	if a == b {
+		panic("topology: self loop")
+	}
+	// Latency jitter: U[0.5, 1.5] of the class mean, so sibling links
+	// are distinguishable by latency measurements (as GT-ITM's random
+	// link weights are) while the hop metric stays exact.
+	mean := float64(IntraDomainLatencyMean)
+	if w == InterDomainWeight {
+		mean = InterDomainLatencyMean
+	}
+	lat := int32(mean * (0.5 + g.genRand.Float64()))
+	if lat < 1 {
+		lat = 1
+	}
+	g.adj[a] = append(g.adj[a], Edge{To: b, Weight: w, Latency: lat})
+	g.adj[b] = append(g.adj[b], Edge{To: a, Weight: w, Latency: lat})
+	g.edges++
+}
+
+func (g *Graph) hasEdge(a, b NodeID) bool {
+	for _, e := range g.adj[a] {
+		if e.To == b {
+			return true
+		}
+	}
+	return false
+}
+
+// NumNodes returns the number of underlay nodes.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// NumDomains returns the number of domains (transit + stub).
+func (g *Graph) NumDomains() int { return g.domains }
+
+// Node returns the classification of node id.
+func (g *Graph) Node(id NodeID) Node { return g.nodes[id] }
+
+// Neighbors returns the adjacency list of id. The returned slice must
+// not be modified.
+func (g *Graph) Neighbors(id NodeID) []Edge { return g.adj[id] }
+
+// StubNodes returns all stub node ids in ascending order. The returned
+// slice must not be modified; overlay (DHT) nodes are drawn from it.
+func (g *Graph) StubNodes() []NodeID { return g.stubs }
+
+// SampleStubNodes returns n distinct stub nodes drawn uniformly without
+// replacement using rng. It panics if n exceeds the number of stub nodes.
+func (g *Graph) SampleStubNodes(rng *rand.Rand, n int) []NodeID {
+	if n > len(g.stubs) {
+		panic(fmt.Sprintf("topology: sample of %d from %d stub nodes", n, len(g.stubs)))
+	}
+	perm := rng.Perm(len(g.stubs))
+	out := make([]NodeID, n)
+	for i := 0; i < n; i++ {
+		out[i] = g.stubs[perm[i]]
+	}
+	return out
+}
+
+// Connected reports whether the graph is connected (used by tests and
+// the topogen tool; Generate always returns connected graphs).
+func (g *Graph) Connected() bool {
+	if len(g.nodes) == 0 {
+		return true
+	}
+	seen := make([]bool, len(g.nodes))
+	stack := []NodeID{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.adj[v] {
+			if !seen[e.To] {
+				seen[e.To] = true
+				count++
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return count == len(g.nodes)
+}
+
+// Metric selects which edge attribute shortest paths minimize.
+type Metric int
+
+// Metrics.
+const (
+	// HopMetric is the paper's reporting convention: interdomain edges
+	// count 3, intradomain edges 1.
+	HopMetric Metric = iota
+	// LatencyMetric is the jittered link latency, the quantity a real
+	// deployment would measure against landmarks.
+	LatencyMetric
+)
+
+func (m Metric) String() string {
+	if m == LatencyMetric {
+		return "latency"
+	}
+	return "hops"
+}
+
+func edgeCost(e Edge, m Metric) int32 {
+	if m == LatencyMetric {
+		return e.Latency
+	}
+	return e.Weight
+}
+
+// ShortestFrom computes single-source shortest-path distances under the
+// hop metric. The result slice is indexed by NodeID.
+func (g *Graph) ShortestFrom(src NodeID) []int32 {
+	return g.ShortestFromMetric(src, HopMetric)
+}
+
+// ShortestFromMetric computes single-source shortest-path distances from
+// src to every node under the chosen metric, using Dial's bucket
+// algorithm for the small-integer hop metric and a binary heap for the
+// latency metric.
+func (g *Graph) ShortestFromMetric(src NodeID, m Metric) []int32 {
+	if m == HopMetric {
+		return g.shortestDial(src)
+	}
+	return g.shortestHeap(src, m)
+}
+
+func (g *Graph) shortestDial(src NodeID) []int32 {
+	const unreached = int32(-1)
+	dist := make([]int32, len(g.nodes))
+	for i := range dist {
+		dist[i] = unreached
+	}
+	// Max possible distance bounds the bucket array.
+	maxDist := InterDomainWeight * len(g.nodes)
+	buckets := make([][]NodeID, maxDist+1)
+	dist[src] = 0
+	buckets[0] = append(buckets[0], src)
+	for d := 0; d <= maxDist; d++ {
+		for len(buckets[d]) > 0 {
+			v := buckets[d][len(buckets[d])-1]
+			buckets[d] = buckets[d][:len(buckets[d])-1]
+			if dist[v] != int32(d) {
+				continue // stale entry
+			}
+			for _, e := range g.adj[v] {
+				nd := int32(d) + e.Weight
+				if dist[e.To] == unreached || nd < dist[e.To] {
+					dist[e.To] = nd
+					buckets[nd] = append(buckets[nd], e.To)
+				}
+			}
+		}
+	}
+	return dist
+}
+
+// pqItem is a binary-heap entry for Dijkstra.
+type pqItem struct {
+	node NodeID
+	dist int32
+}
+
+func (g *Graph) shortestHeap(src NodeID, m Metric) []int32 {
+	const unreached = int32(-1)
+	dist := make([]int32, len(g.nodes))
+	for i := range dist {
+		dist[i] = unreached
+	}
+	dist[src] = 0
+	heap := []pqItem{{src, 0}}
+	pop := func() pqItem {
+		top := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			small := i
+			if l < len(heap) && heap[l].dist < heap[small].dist {
+				small = l
+			}
+			if r < len(heap) && heap[r].dist < heap[small].dist {
+				small = r
+			}
+			if small == i {
+				break
+			}
+			heap[i], heap[small] = heap[small], heap[i]
+			i = small
+		}
+		return top
+	}
+	push := func(it pqItem) {
+		heap = append(heap, it)
+		i := len(heap) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if heap[p].dist <= heap[i].dist {
+				break
+			}
+			heap[i], heap[p] = heap[p], heap[i]
+			i = p
+		}
+	}
+	for len(heap) > 0 {
+		it := pop()
+		if it.dist != dist[it.node] {
+			continue // stale
+		}
+		for _, e := range g.adj[it.node] {
+			nd := it.dist + edgeCost(e, m)
+			if dist[e.To] == unreached || nd < dist[e.To] {
+				dist[e.To] = nd
+				push(pqItem{e.To, nd})
+			}
+		}
+	}
+	return dist
+}
+
+// Distances caches per-source shortest-path vectors under one metric and
+// computes them in parallel on demand. It is safe for concurrent use.
+type Distances struct {
+	g      *Graph
+	metric Metric
+	cache  []atomic.Pointer[[]int32] // indexed by source; nil until computed
+	locks  []sync.Mutex
+}
+
+// NewDistances returns a hop-metric distance oracle over g.
+func NewDistances(g *Graph) *Distances { return NewDistancesMetric(g, HopMetric) }
+
+// NewDistancesMetric returns a distance oracle over g under the chosen
+// metric.
+func NewDistancesMetric(g *Graph, m Metric) *Distances {
+	return &Distances{
+		g:      g,
+		metric: m,
+		cache:  make([]atomic.Pointer[[]int32], g.NumNodes()),
+		locks:  make([]sync.Mutex, g.NumNodes()),
+	}
+}
+
+// Metric returns the oracle's metric.
+func (d *Distances) Metric() Metric { return d.metric }
+
+// From returns the distance vector from src, computing and caching it on
+// first use. Concurrent callers for the same source compute it once.
+// The returned slice must not be modified.
+func (d *Distances) From(src NodeID) []int32 {
+	if p := d.cache[src].Load(); p != nil {
+		return *p
+	}
+	d.locks[src].Lock()
+	defer d.locks[src].Unlock()
+	if p := d.cache[src].Load(); p != nil {
+		return *p
+	}
+	v := d.g.ShortestFromMetric(src, d.metric)
+	d.cache[src].Store(&v)
+	return v
+}
+
+// Between returns the shortest-path distance between a and b in latency
+// units.
+func (d *Distances) Between(a, b NodeID) int32 {
+	if p := d.cache[a].Load(); p != nil {
+		return (*p)[b]
+	}
+	if p := d.cache[b].Load(); p != nil {
+		return (*p)[a]
+	}
+	return d.From(a)[b]
+}
+
+// Precompute fills the cache for every source in srcs, in parallel.
+func (d *Distances) Precompute(srcs []NodeID) {
+	par.For(len(srcs), 0, func(i int) {
+		d.From(srcs[i])
+	})
+}
