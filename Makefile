@@ -1,0 +1,18 @@
+# Convenience targets; `make check` is the tier-1 gate (see ROADMAP.md).
+
+.PHONY: check build test race fmt
+
+check:
+	./ci.sh
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./internal/livenet/ ./internal/par/ ./internal/sim/
+
+fmt:
+	gofmt -w .

@@ -1,0 +1,32 @@
+#!/bin/sh
+# ci.sh — the full pre-merge check, also reachable as `make check`.
+#
+# Order matters: cheap static checks first so formatting or vet
+# failures surface before the minutes-long test run. The race pass
+# covers the packages that exercise real concurrency (livenet's
+# goroutine-per-KT-node rounds, par's worker pools, sim's engine
+# contract); the rest of the tree is single-goroutine by design.
+set -eu
+cd "$(dirname "$0")"
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race (concurrent packages)"
+go test -race ./internal/livenet/ ./internal/par/ ./internal/sim/
+
+echo "ci: all checks passed"

@@ -1,0 +1,156 @@
+// Command lbbench runs the figure drivers as timed benchmarks and
+// writes machine-readable result files, one per benchmark, named
+// BENCH_<name>.json in the output directory.
+//
+// Usage:
+//
+//	lbbench                                  # fig4 and vsatime
+//	lbbench -bench fig4,fig7,vsatime -out d  # add the fig 7 sweep
+//
+// Each BENCH_<name>.json holds:
+//
+//	{
+//	  "name":      "fig4",
+//	  "unix_time": 1722816000,          // run timestamp (seconds)
+//	  "config":    {"seed":1, "nodes":4096, "graphs":10, "epsilon":0.05},
+//	  "wall_ms":   1234,                // end-to-end driver wall time
+//	  "results":   {...},               // benchmark-specific outcome
+//	  "metrics":   {...}                // metrics.Snapshot of the run
+//	}
+//
+// The metrics object is the same snapshot `lbsim -metrics` emits:
+// counters (msg.*, core.*), histograms (chord.lookup.*, core.phase.*)
+// and series, so regressions in message counts or phase times are
+// diffable across commits, not just wall time.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"p2plb/internal/exp"
+	"p2plb/internal/metrics"
+	"p2plb/internal/topology"
+)
+
+type benchConfig struct {
+	Seed    int64   `json:"seed"`
+	Nodes   int     `json:"nodes"`
+	Graphs  int     `json:"graphs,omitempty"`
+	Epsilon float64 `json:"epsilon"`
+}
+
+type benchReport struct {
+	Name     string            `json:"name"`
+	UnixTime int64             `json:"unix_time"`
+	Config   benchConfig       `json:"config"`
+	WallMS   int64             `json:"wall_ms"`
+	Results  interface{}       `json:"results"`
+	Metrics  *metrics.Snapshot `json:"metrics"`
+}
+
+func main() {
+	var (
+		out    = flag.String("out", ".", "directory for BENCH_<name>.json files")
+		seed   = flag.Int64("seed", 1, "base RNG seed")
+		nodes  = flag.Int("nodes", 4096, "number of DHT nodes")
+		graphs = flag.Int("graphs", 10, "topology instances for fig7")
+		bench  = flag.String("bench", "fig4,vsatime", "comma-separated benchmarks: fig4, fig7, vsatime")
+	)
+	flag.Parse()
+	for _, name := range strings.Split(*bench, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if err := runBench(name, *out, *seed, *nodes, *graphs); err != nil {
+			fmt.Fprintln(os.Stderr, "lbbench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func runBench(name, out string, seed int64, nodes, graphs int) error {
+	reg := metrics.NewRegistry()
+	cfg := benchConfig{Seed: seed, Nodes: nodes, Epsilon: 0.05}
+	start := time.Now()
+	var results interface{}
+	switch name {
+	case "fig4":
+		s := exp.DefaultSetup(seed)
+		s.Nodes = nodes
+		s.Metrics = reg
+		inst, err := exp.Build(s)
+		if err != nil {
+			return err
+		}
+		res, err := inst.Balancer.RunRound()
+		if err != nil {
+			return err
+		}
+		results = map[string]interface{}{
+			"heavy_before":      res.HeavyBefore,
+			"heavy_after":       res.HeavyAfter,
+			"light_before":      res.LightBefore,
+			"moved_load":        res.MovedLoad,
+			"moved_fraction":    res.MovedLoad / res.Global.L,
+			"transfers":         len(res.Assignments),
+			"unassigned_offers": res.UnassignedOffers,
+			"tree_height":       res.TreeHeight,
+		}
+	case "fig7":
+		cfg.Graphs = graphs
+		dist, err := exp.MovedLoadDistribution(topology.TS5kLarge, graphs, seed, nodes, reg)
+		if err != nil {
+			return err
+		}
+		aware, ignorant := dist.MeanHops()
+		results = map[string]interface{}{
+			"graphs":                  dist.Graphs,
+			"mean_hops_aware":         aware,
+			"mean_hops_ignorant":      ignorant,
+			"within2_aware":           dist.Aware.FractionWithin(2),
+			"within2_ignorant":        dist.Ignorant.FractionWithin(2),
+			"heavy_residual_aware":    dist.HeavyResidualAware,
+			"heavy_residual_ignorant": dist.HeavyResidualIgnorant,
+		}
+	case "vsatime":
+		sizes := []int{nodes / 8, nodes / 4, nodes / 2, nodes}
+		rows, err := exp.VSATimes([]int{2, 8}, sizes, seed, reg)
+		if err != nil {
+			return err
+		}
+		results = rows
+	default:
+		return fmt.Errorf("unknown benchmark %q (want fig4, fig7, vsatime)", name)
+	}
+	wall := time.Since(start)
+
+	snap := reg.Snapshot()
+	report := benchReport{
+		Name:     name,
+		UnixTime: time.Now().Unix(),
+		Config:   cfg,
+		WallMS:   wall.Milliseconds(),
+		Results:  results,
+		Metrics:  &snap,
+	}
+	path := filepath.Join(out, "BENCH_"+name+".json")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		return err
+	}
+	fmt.Printf("lbbench: %s done in %d ms -> %s\n", name, report.WallMS, path)
+	return nil
+}

@@ -13,6 +13,9 @@
 //	lbsim -fig churn      # robustness vs membership churn rate
 //
 // Common flags: -seed, -nodes, -graphs (figs 7/8), -eps, -csv FILE.
+// Observability: -metrics FILE dumps a metrics snapshot (JSON, or CSV
+// with a .csv suffix) of counters, histograms and series recorded
+// during the run; -cpuprofile/-memprofile write pprof profiles.
 // The program prints the same rows/series the paper plots; absolute
 // numbers differ from the paper's testbed, the shapes should not.
 package main
@@ -22,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"text/tabwriter"
@@ -29,6 +34,7 @@ import (
 	"p2plb/internal/chord"
 	"p2plb/internal/core"
 	"p2plb/internal/exp"
+	"p2plb/internal/metrics"
 	"p2plb/internal/rao"
 	"p2plb/internal/stats"
 	"p2plb/internal/topology"
@@ -36,38 +42,75 @@ import (
 
 func main() {
 	var (
-		fig    = flag.String("fig", "", "figure to regenerate: 4, 5, 6, 7, 8, vsatime, cfs, rao, churn")
-		seed   = flag.Int64("seed", 1, "base RNG seed")
-		nodes  = flag.Int("nodes", 4096, "number of DHT nodes")
-		graphs = flag.Int("graphs", 10, "topology instances for figs 7/8 (paper: 10)")
-		eps    = flag.Float64("eps", 0.05, "target slack epsilon")
-		csvOut = flag.String("csv", "", "also write raw series to this CSV file")
+		fig        = flag.String("fig", "", "figure to regenerate: 4, 5, 6, 7, 8, vsatime, cfs, rao, churn")
+		seed       = flag.Int64("seed", 1, "base RNG seed")
+		nodes      = flag.Int("nodes", 4096, "number of DHT nodes")
+		graphs     = flag.Int("graphs", 10, "topology instances for figs 7/8 (paper: 10)")
+		eps        = flag.Float64("eps", 0.05, "target slack epsilon (0 is honoured: zero slack)")
+		csvOut     = flag.String("csv", "", "also write raw series to this CSV file")
+		metricsOut = flag.String("metrics", "", "write a metrics snapshot to this file (JSON, or CSV if it ends in .csv)")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *fig == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*fig, *seed, *nodes, *graphs, *eps, *csvOut); err != nil {
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lbsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "lbsim:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	var reg *metrics.Registry
+	if *metricsOut != "" {
+		reg = metrics.NewRegistry()
+	}
+	err := run(*fig, *seed, *nodes, *graphs, *eps, *csvOut, reg)
+	if err == nil && reg != nil {
+		err = reg.Snapshot().WriteFile(*metricsOut)
+	}
+	if err == nil && *memProf != "" {
+		err = writeHeapProfile(*memProf)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "lbsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig string, seed int64, nodes, graphs int, eps float64, csvOut string) error {
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
+}
+
+func run(fig string, seed int64, nodes, graphs int, eps float64, csvOut string, reg *metrics.Registry) error {
 	switch fig {
 	case "4":
-		return fig4(seed, nodes, eps, csvOut)
+		return fig4(seed, nodes, eps, csvOut, reg)
 	case "5":
-		return fig56(seed, nodes, eps, false, csvOut)
+		return fig56(seed, nodes, eps, false, csvOut, reg)
 	case "6":
-		return fig56(seed, nodes, eps, true, csvOut)
+		return fig56(seed, nodes, eps, true, csvOut, reg)
 	case "7":
-		return fig78(seed, nodes, graphs, "ts5k-large", topology.TS5kLarge, csvOut)
+		return fig78(seed, nodes, graphs, "ts5k-large", topology.TS5kLarge, csvOut, reg)
 	case "8":
-		return fig78(seed, nodes, graphs, "ts5k-small", topology.TS5kSmall, csvOut)
+		return fig78(seed, nodes, graphs, "ts5k-small", topology.TS5kSmall, csvOut, reg)
 	case "vsatime":
-		return vsatime(seed, nodes)
+		return vsatime(seed, nodes, reg)
 	case "cfs":
 		return cfs(seed, nodes, eps)
 	case "rao":
@@ -86,8 +129,9 @@ func setupWith(seed int64, nodes int, eps float64) exp.Setup {
 	return s
 }
 
-func fig4(seed int64, nodes int, eps float64, csvOut string) error {
+func fig4(seed int64, nodes int, eps float64, csvOut string, reg *metrics.Registry) error {
 	s := setupWith(seed, nodes, eps)
+	s.Metrics = reg
 	inst, err := exp.Build(s)
 	if err != nil {
 		return err
@@ -105,13 +149,18 @@ func fig4(seed int64, nodes int, eps float64, csvOut string) error {
 	fmt.Printf("  light before: %d  neutral before: %d\n", res.LightBefore, res.NeutralBefore)
 	fmt.Printf("  moved load: %.0f (%.1f%% of total) in %d transfers, %d offers unassigned\n",
 		res.MovedLoad, 100*res.MovedLoad/res.Global.L, len(res.Assignments), res.UnassignedOffers)
-	sb, sa := stats.Summarize(before), stats.Summarize(after)
+	// Sort copies once; before/after keep node order for the CSV rows.
+	sortedB := append([]float64(nil), before...)
+	sortedA := append([]float64(nil), after...)
+	sort.Float64s(sortedB)
+	sort.Float64s(sortedA)
+	sb, sa := stats.SummarizeSorted(sortedB), stats.SummarizeSorted(sortedA)
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "  unit load\tmean\tstd\tp50\tp99\tmax")
 	fmt.Fprintf(w, "  before\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\n",
-		sb.Mean, sb.Std, sb.Median, stats.Percentile(before, 99), sb.Max)
+		sb.Mean, sb.Std, sb.Median, stats.PercentileSorted(sortedB, 99), sb.Max)
 	fmt.Fprintf(w, "  after\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\n",
-		sa.Mean, sa.Std, sa.Median, stats.Percentile(after, 99), sa.Max)
+		sa.Mean, sa.Std, sa.Median, stats.PercentileSorted(sortedA, 99), sa.Max)
 	w.Flush()
 	if csvOut != "" {
 		rows := [][]string{{"node", "unit_before", "unit_after"}}
@@ -125,13 +174,14 @@ func fig4(seed int64, nodes int, eps float64, csvOut string) error {
 	return nil
 }
 
-func fig56(seed int64, nodes int, eps float64, pareto bool, csvOut string) error {
+func fig56(seed int64, nodes int, eps float64, pareto bool, csvOut string, reg *metrics.Registry) error {
 	name, figNo := "Gaussian", "5"
 	if pareto {
 		name, figNo = "Pareto(alpha=1.5)", "6"
 	}
 	s := setupWith(seed, nodes, eps)
 	s.Pareto = pareto
+	s.Metrics = reg
 	inst, err := exp.Build(s)
 	if err != nil {
 		return err
@@ -168,10 +218,10 @@ func fig56(seed int64, nodes int, eps float64, pareto bool, csvOut string) error
 	return nil
 }
 
-func fig78(seed int64, nodes, graphs int, name string, topo func(int64) topology.Params, csvOut string) error {
+func fig78(seed int64, nodes, graphs int, name string, topo func(int64) topology.Params, csvOut string, reg *metrics.Registry) error {
 	fmt.Printf("Figure %s — moved load vs transfer distance, %s, N=%d, %d graphs\n",
 		map[string]string{"ts5k-large": "7", "ts5k-small": "8"}[name], name, nodes, graphs)
-	dist, err := exp.MovedLoadDistribution(topo, graphs, seed, nodes)
+	dist, err := exp.MovedLoadDistribution(topo, graphs, seed, nodes, reg)
 	if err != nil {
 		return err
 	}
@@ -228,10 +278,10 @@ func fig78(seed int64, nodes, graphs int, name string, topo func(int64) topology
 	return nil
 }
 
-func vsatime(seed int64, nodes int) error {
+func vsatime(seed int64, nodes int, reg *metrics.Registry) error {
 	sizes := []int{nodes / 8, nodes / 4, nodes / 2, nodes}
 	sort.Ints(sizes)
-	rows, err := exp.VSATimes([]int{2, 8}, sizes, seed)
+	rows, err := exp.VSATimes([]int{2, 8}, sizes, seed, reg)
 	if err != nil {
 		return err
 	}

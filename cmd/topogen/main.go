@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sort"
 	"text/tabwriter"
 
 	"p2plb/internal/stats"
@@ -98,9 +99,12 @@ func main() {
 		if len(c.h) == 0 {
 			continue
 		}
-		hs, ls := stats.Summarize(c.h), stats.Summarize(c.l)
+		// Sort once; the samples are not used in original order below.
+		sort.Float64s(c.h)
+		sort.Float64s(c.l)
+		hs, ls := stats.SummarizeSorted(c.h), stats.SummarizeSorted(c.l)
 		fmt.Fprintf(w, "  %s\t%d\t%.1f\t%.1f\t%.0f\t%.0f\n",
-			key, hs.N, hs.Mean, stats.Percentile(c.h, 95), ls.Mean, stats.Percentile(c.l, 95))
+			key, hs.N, hs.Mean, stats.PercentileSorted(c.h, 95), ls.Mean, stats.PercentileSorted(c.l, 95))
 	}
 	w.Flush()
 

@@ -26,6 +26,7 @@ import (
 	"sort"
 
 	"p2plb/internal/ident"
+	"p2plb/internal/metrics"
 	"p2plb/internal/sim"
 	"p2plb/internal/topology"
 )
@@ -138,6 +139,11 @@ type Ring struct {
 	nodes     []*Node
 	vss       []*VServer // alive virtual servers, sorted by ID
 	listeners []Listener
+
+	// Cached lookup metrics (filled on first completed lookup once the
+	// engine carries a registry).
+	mLookupHops *metrics.Histogram
+	mLookupLat  *metrics.Histogram
 }
 
 // Message kinds counted on the engine.
@@ -416,6 +422,7 @@ func (r *Ring) lookupStep(origin *Node, cur *VServer, key ident.ID, hops int, co
 		hop := r.cfg.Latency(cur.Owner, succ.Owner) + r.cfg.MinHopLatency
 		r.eng.CountMessage(MsgLookupHop, hop)
 		r.eng.Schedule(hop, func() {
+			r.observeLookup(hops+1, cost+hop)
 			cb(LookupResult{VS: succ, Hops: hops + 1, Cost: cost + hop})
 		})
 		return
@@ -431,6 +438,22 @@ func (r *Ring) lookupStep(origin *Node, cur *VServer, key ident.ID, hops int, co
 		}
 		r.lookupStep(origin, next, key, hops+1, cost+hop, cb)
 	})
+}
+
+// observeLookup records a completed routed lookup's hop count and
+// charged latency into the engine's metrics registry, if one is
+// attached.
+func (r *Ring) observeLookup(hops int, cost sim.Time) {
+	if r.mLookupHops == nil {
+		reg := r.eng.Metrics()
+		if reg == nil {
+			return
+		}
+		r.mLookupHops = reg.Histogram("chord.lookup.hops")
+		r.mLookupLat = reg.Histogram("chord.lookup.latency")
+	}
+	r.mLookupHops.Observe(int64(hops))
+	r.mLookupLat.Observe(int64(cost))
 }
 
 // LookupSync resolves the owner of key immediately without simulating

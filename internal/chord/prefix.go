@@ -102,12 +102,14 @@ func (r *Ring) prefixStep(cur *VServer, key ident.ID, hops int, cost sim.Time, c
 		// already owns the key).
 		owner := r.Successor(key)
 		if owner == cur {
+			r.observeLookup(hops, cost)
 			cb(LookupResult{VS: cur, Hops: hops, Cost: cost})
 			return
 		}
 		hop := r.cfg.Latency(cur.Owner, owner.Owner) + r.cfg.MinHopLatency
 		r.eng.CountMessage(MsgPrefixHop, hop)
 		r.eng.Schedule(hop, func() {
+			r.observeLookup(hops+1, cost+hop)
 			cb(LookupResult{VS: r.Successor(key), Hops: hops + 1, Cost: cost + hop})
 		})
 		return

@@ -80,7 +80,34 @@ func (b *Balancer) RunRound() (*Result, error) {
 	if _, err := b.tree.Repair(); err != nil {
 		return nil, err
 	}
+	b.recordRound(res)
 	return res, nil
+}
+
+// recordRound publishes one round's outcome to the engine's metrics
+// registry (no-op without one): per-phase durations in virtual latency
+// units, pairing outcomes, and moved load.
+func (b *Balancer) recordRound(res *Result) {
+	reg := b.ring.Engine().Metrics()
+	if reg == nil {
+		return
+	}
+	reg.Counter("core.rounds").Inc()
+	reg.Histogram("core.phase.lbi_aggregate").Observe(int64(res.TimeLBIAggregate))
+	reg.Histogram("core.phase.lbi_disseminate").Observe(int64(res.TimeLBIDisseminate - res.TimeLBIAggregate))
+	if res.TimePublish > 0 {
+		reg.Histogram("core.phase.publish").Observe(int64(res.TimePublish - res.TimeLBIDisseminate))
+	}
+	reg.Histogram("core.phase.vsa").Observe(int64(res.TimeVSAComplete))
+	reg.Histogram("core.phase.vst").Observe(int64(res.TimeVSTComplete))
+	reg.Counter("core.pairs.assigned").Add(int64(len(res.Assignments)))
+	reg.Counter("core.pairs.unassigned").Add(int64(res.UnassignedOffers))
+	reg.Float("core.moved_load").Add(res.MovedLoad)
+	reg.Float("core.unassigned_load").Add(res.UnassignedLoad)
+	hops := reg.Histogram("core.transfer.hops")
+	for i := range res.Assignments {
+		hops.Observe(int64(res.Assignments[i].Hops))
+	}
 }
 
 // UnitLoads returns load/capacity for every alive node, in ring node

@@ -20,6 +20,7 @@ import (
 	"p2plb/internal/chord"
 	"p2plb/internal/ident"
 	"p2plb/internal/ktree"
+	"p2plb/internal/metrics"
 	"p2plb/internal/sim"
 	"p2plb/internal/stats"
 	"p2plb/internal/topology"
@@ -198,6 +199,9 @@ type Balancer struct {
 	ring *chord.Ring
 	tree *ktree.Tree
 	cfg  Config
+
+	// Cached metric handle (lazily resolved from the engine's registry).
+	mSubsetCost *metrics.Histogram
 }
 
 // NewBalancer returns a Balancer. The tree must belong to the ring.
@@ -213,6 +217,24 @@ func NewBalancer(ring *chord.Ring, tree *ktree.Tree, cfg Config) (*Balancer, err
 
 // Ring returns the balancer's ring.
 func (b *Balancer) Ring() *chord.Ring { return b.ring }
+
+// observeSubsetCost records the candidate-evaluation count of one
+// shed-subset selection as core.subset.cost. It is a no-op on a
+// ring-less Balancer (ClassifyNode's standalone path) or when the
+// engine has no metrics registry.
+func (b *Balancer) observeSubsetCost(ops int64) {
+	if b.mSubsetCost == nil {
+		if b.ring == nil {
+			return
+		}
+		reg := b.ring.Engine().Metrics()
+		if reg == nil {
+			return
+		}
+		b.mSubsetCost = reg.Histogram("core.subset.cost")
+	}
+	b.mSubsetCost.Observe(ops)
+}
 
 // transferCost returns the reported transfer distance between two nodes.
 func (b *Balancer) transferCost(from, to *chord.Node) int {

@@ -125,7 +125,9 @@ func (b *Balancer) classifyNode(n *chord.Node, global LBI) *NodeState {
 	switch {
 	case st.Load > st.Target:
 		st.Class = Heavy
-		st.Offers = chooseShedSubset(n.VServers(), st.Load-st.Target, b.cfg.Subset)
+		var ops int64
+		st.Offers, ops = chooseShedSubset(n.VServers(), st.Load-st.Target, b.cfg.Subset)
+		b.observeSubsetCost(ops)
 	case gap >= global.Lmin:
 		st.Class = Light
 		st.Deficit = gap

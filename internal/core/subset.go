@@ -29,10 +29,12 @@ const (
 const exactLimit = 16
 
 // chooseShedSubset picks the virtual servers to shed. The returned
-// slice is ordered by descending load. It returns nil when excess <= 0.
-func chooseShedSubset(vss []*chord.VServer, excess float64, strategy SubsetStrategy) []*chord.VServer {
+// slice is ordered by descending load; ops counts candidate evaluations
+// (the work metric instrumentation reports as core.subset.cost). It
+// returns nil when excess <= 0.
+func chooseShedSubset(vss []*chord.VServer, excess float64, strategy SubsetStrategy) (subset []*chord.VServer, ops int64) {
 	if excess <= 0 || len(vss) == 0 {
-		return nil
+		return nil, 0
 	}
 	sorted := append([]*chord.VServer(nil), vss...)
 	sort.Slice(sorted, func(i, j int) bool {
@@ -57,11 +59,12 @@ func chooseShedSubset(vss []*chord.VServer, excess float64, strategy SubsetStrat
 // exactSubset enumerates all subsets and returns the one with minimal
 // total load >= excess, preferring fewer virtual servers on ties.
 // Input must be sorted by descending load.
-func exactSubset(sorted []*chord.VServer, excess float64) []*chord.VServer {
+func exactSubset(sorted []*chord.VServer, excess float64) ([]*chord.VServer, int64) {
 	n := len(sorted)
 	bestSum := -1.0
 	bestMask := uint32(0)
 	bestCount := n + 1
+	ops := int64(1)<<uint(n) - 1 // candidate subsets examined
 	for mask := uint32(1); mask < 1<<uint(n); mask++ {
 		var sum float64
 		count := 0
@@ -81,7 +84,7 @@ func exactSubset(sorted []*chord.VServer, excess float64) []*chord.VServer {
 	if bestSum < 0 {
 		// Even shedding everything cannot reach the excess (impossible
 		// when excess = load − target <= load, but guard anyway): shed all.
-		return sorted
+		return sorted, ops
 	}
 	out := make([]*chord.VServer, 0, bestCount)
 	for i := 0; i < n; i++ {
@@ -89,17 +92,19 @@ func exactSubset(sorted []*chord.VServer, excess float64) []*chord.VServer {
 			out = append(out, sorted[i])
 		}
 	}
-	return out
+	return out, ops
 }
 
 // greedySubset covers the excess with loads in descending order, then
 // (1) drops any member whose removal keeps the excess covered, smallest
 // first, and (2) repeatedly swaps a chosen VS for a smaller unchosen one
 // while feasibility holds. Input must be sorted by descending load.
-func greedySubset(sorted []*chord.VServer, excess float64) []*chord.VServer {
+func greedySubset(sorted []*chord.VServer, excess float64) ([]*chord.VServer, int64) {
 	chosen := make([]bool, len(sorted))
 	var sum float64
+	var ops int64
 	for i, vs := range sorted {
+		ops++
 		if sum >= excess {
 			break
 		}
@@ -107,11 +112,12 @@ func greedySubset(sorted []*chord.VServer, excess float64) []*chord.VServer {
 		sum += vs.Load
 	}
 	if sum < excess {
-		return append([]*chord.VServer(nil), sorted...)
+		return append([]*chord.VServer(nil), sorted...), ops
 	}
 	// Drop pass: smallest chosen first (slice is descending, iterate
 	// from the end).
 	for i := len(sorted) - 1; i >= 0; i-- {
+		ops++
 		if chosen[i] && sum-sorted[i].Load >= excess {
 			chosen[i] = false
 			sum -= sorted[i].Load
@@ -127,6 +133,7 @@ func greedySubset(sorted []*chord.VServer, excess float64) []*chord.VServer {
 				continue
 			}
 			for j := i + 1; j < len(sorted); j++ {
+				ops++
 				if chosen[j] || sorted[j].Load >= sorted[i].Load {
 					continue
 				}
@@ -145,7 +152,7 @@ func greedySubset(sorted []*chord.VServer, excess float64) []*chord.VServer {
 			out = append(out, vs)
 		}
 	}
-	return out
+	return out, ops
 }
 
 // subsetLoad sums the loads of a subset.

@@ -25,14 +25,20 @@ func loadsOf(vss []*chord.VServer) []float64 {
 	return out
 }
 
+// shed calls chooseShedSubset and discards the ops count.
+func shed(vss []*chord.VServer, excess float64, s SubsetStrategy) []*chord.VServer {
+	subset, _ := chooseShedSubset(vss, excess, s)
+	return subset
+}
+
 func TestChooseShedSubsetZeroExcess(t *testing.T) {
-	if got := chooseShedSubset(mkVSs(1, 2, 3), 0, SubsetAuto); got != nil {
+	if got := shed(mkVSs(1, 2, 3), 0, SubsetAuto); got != nil {
 		t.Fatalf("zero excess should shed nothing, got %v", loadsOf(got))
 	}
-	if got := chooseShedSubset(mkVSs(1, 2, 3), -5, SubsetAuto); got != nil {
+	if got := shed(mkVSs(1, 2, 3), -5, SubsetAuto); got != nil {
 		t.Fatal("negative excess should shed nothing")
 	}
-	if got := chooseShedSubset(nil, 5, SubsetAuto); got != nil {
+	if got := shed(nil, 5, SubsetAuto); got != nil {
 		t.Fatal("no virtual servers, nothing to shed")
 	}
 }
@@ -52,7 +58,7 @@ func TestExactSubsetKnownCases(t *testing.T) {
 		{[]float64{2, 2, 2}, 3, 4},         // two items
 	}
 	for _, c := range cases {
-		got := chooseShedSubset(mkVSs(c.loads...), c.excess, SubsetExact)
+		got := shed(mkVSs(c.loads...), c.excess, SubsetExact)
 		if sum := subsetLoad(got); sum != c.want {
 			t.Errorf("exact(%v, %v) shed %v (sum %v), want sum %v",
 				c.loads, c.excess, loadsOf(got), sum, c.want)
@@ -65,7 +71,7 @@ func TestExactSubsetKnownCases(t *testing.T) {
 
 func TestExactPrefersFewerVSsOnTies(t *testing.T) {
 	// Sum 6 reachable as {6} or {4,2}: prefer the single VS.
-	got := chooseShedSubset(mkVSs(6, 4, 2), 6, SubsetExact)
+	got := shed(mkVSs(6, 4, 2), 6, SubsetExact)
 	if len(got) != 1 || got[0].Load != 6 {
 		t.Fatalf("want single VS of load 6, got %v", loadsOf(got))
 	}
@@ -85,7 +91,7 @@ func TestGreedyFeasible(t *testing.T) {
 		if excess == 0 {
 			continue
 		}
-		got := chooseShedSubset(mkVSs(loads...), excess, SubsetGreedy)
+		got := shed(mkVSs(loads...), excess, SubsetGreedy)
 		if sum := subsetLoad(got); sum < excess {
 			t.Fatalf("greedy infeasible: loads=%v excess=%v shed=%v",
 				loads, excess, loadsOf(got))
@@ -109,8 +115,8 @@ func TestGreedyNearOptimal(t *testing.T) {
 			total += loads[i]
 		}
 		excess := rng.Float64() * total * 0.8
-		exact := subsetLoad(chooseShedSubset(mkVSs(loads...), excess, SubsetExact))
-		greedy := subsetLoad(chooseShedSubset(mkVSs(loads...), excess, SubsetGreedy))
+		exact := subsetLoad(shed(mkVSs(loads...), excess, SubsetExact))
+		greedy := subsetLoad(shed(mkVSs(loads...), excess, SubsetGreedy))
 		if greedy < exact-1e-9 {
 			t.Fatalf("greedy %v beat exact %v — exact is not optimal", greedy, exact)
 		}
@@ -124,8 +130,8 @@ func TestGreedyNearOptimal(t *testing.T) {
 func TestAutoStrategyDispatch(t *testing.T) {
 	// <= exactLimit VSs: auto must match exact.
 	loads := []float64{9, 7, 5, 3, 1}
-	auto := subsetLoad(chooseShedSubset(mkVSs(loads...), 8, SubsetAuto))
-	exact := subsetLoad(chooseShedSubset(mkVSs(loads...), 8, SubsetExact))
+	auto := subsetLoad(shed(mkVSs(loads...), 8, SubsetAuto))
+	exact := subsetLoad(shed(mkVSs(loads...), 8, SubsetExact))
 	if auto != exact {
 		t.Fatalf("auto %v != exact %v for small instance", auto, exact)
 	}
@@ -134,7 +140,7 @@ func TestAutoStrategyDispatch(t *testing.T) {
 	for i := range big {
 		big[i] = float64(i + 1)
 	}
-	got := chooseShedSubset(mkVSs(big...), 40, SubsetAuto)
+	got := shed(mkVSs(big...), 40, SubsetAuto)
 	if subsetLoad(got) < 40 {
 		t.Fatal("auto infeasible on large instance")
 	}
@@ -142,8 +148,8 @@ func TestAutoStrategyDispatch(t *testing.T) {
 
 func TestSubsetDeterministic(t *testing.T) {
 	loads := []float64{4, 4, 4, 4}
-	a := chooseShedSubset(mkVSs(loads...), 7, SubsetExact)
-	b := chooseShedSubset(mkVSs(loads...), 7, SubsetExact)
+	a := shed(mkVSs(loads...), 7, SubsetExact)
+	b := shed(mkVSs(loads...), 7, SubsetExact)
 	if len(a) != len(b) {
 		t.Fatal("nondeterministic subset size")
 	}
@@ -155,7 +161,7 @@ func TestSubsetDeterministic(t *testing.T) {
 }
 
 func TestSubsetOrderedByDescendingLoad(t *testing.T) {
-	got := chooseShedSubset(mkVSs(1, 9, 5, 7, 3), 20, SubsetExact)
+	got := shed(mkVSs(1, 9, 5, 7, 3), 20, SubsetExact)
 	for i := 1; i < len(got); i++ {
 		if got[i].Load > got[i-1].Load {
 			t.Fatalf("subset not descending: %v", loadsOf(got))
@@ -172,7 +178,7 @@ func BenchmarkExactSubset12(b *testing.B) {
 	vss := mkVSs(loads...)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		chooseShedSubset(vss, 150, SubsetExact)
+		shed(vss, 150, SubsetExact)
 	}
 }
 
@@ -185,6 +191,6 @@ func BenchmarkGreedySubset64(b *testing.B) {
 	vss := mkVSs(loads...)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		chooseShedSubset(vss, 900, SubsetGreedy)
+		shed(vss, 900, SubsetGreedy)
 	}
 }

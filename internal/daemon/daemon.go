@@ -95,6 +95,9 @@ func (d *Daemon) Start() error {
 		d.cancelRepair = d.eng.Every(d.cfg.RepairInterval, func() {
 			if _, err := d.tree.Repair(); err == nil {
 				d.repairs++
+				if reg := d.eng.Metrics(); reg != nil {
+					reg.Counter("daemon.repairs").Inc()
+				}
 			}
 		})
 	}
@@ -142,11 +145,21 @@ func (d *Daemon) runRound() {
 		return
 	}
 	rec := RoundRecord{StartedAt: d.eng.Now(), GiniBefore: d.unitLoadGini()}
+	if reg := d.eng.Metrics(); reg != nil {
+		reg.Series("daemon.gini.before").Append(float64(rec.StartedAt), rec.GiniBefore)
+	}
 	err := d.runner.StartRound(func(res *protocol.Result, err error) {
 		rec.Result = res
 		rec.Err = err
 		rec.GiniAfter = d.unitLoadGini()
 		d.history = append(d.history, rec)
+		if reg := d.eng.Metrics(); reg != nil {
+			reg.Counter("daemon.rounds").Inc()
+			if err != nil {
+				reg.Counter("daemon.round_errors").Inc()
+			}
+			reg.Series("daemon.gini.after").Append(float64(d.eng.Now()), rec.GiniAfter)
+		}
 	})
 	if err != nil {
 		// A previous round is still running (interval shorter than the

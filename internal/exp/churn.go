@@ -7,7 +7,6 @@ import (
 	"p2plb/internal/daemon"
 	"p2plb/internal/protocol"
 	"p2plb/internal/sim"
-	"p2plb/internal/workload"
 )
 
 // ChurnRow is one churn-rate operating point of the robustness
@@ -53,17 +52,14 @@ func ChurnSensitivity(seed int64, nodes int, rates []int, rounds int) ([]ChurnRo
 		if err != nil {
 			return nil, err
 		}
-		// Build fills defaults on its own copy; the churn hook needs
-		// the capacity profile too.
-		profile := s.Profile
-		if profile == nil {
-			profile = workload.GnutellaProfile()
-		}
+		// Build fills defaults (sentinels resolved, profile set) into the
+		// instance's Setup copy; read the resolved values from there.
+		profile := inst.Setup.Profile
 		const interval = sim.Time(5000)
 		rate := rate
 		d, err := daemon.New(inst.Ring, inst.Tree, daemon.Config{
 			RoundInterval: 5000,
-			Protocol:      protocol.Config{Core: core.Config{Epsilon: s.Epsilon}},
+			Protocol:      protocol.Config{Core: core.Config{Epsilon: inst.Setup.Epsilon}},
 			BeforeRound: func() {
 				alive := inst.Ring.AliveNodes()
 				for i := 0; i < rate && len(alive) > i; i++ {

@@ -19,11 +19,19 @@ import (
 	"p2plb/internal/chord"
 	"p2plb/internal/core"
 	"p2plb/internal/ktree"
+	"p2plb/internal/metrics"
 	"p2plb/internal/proximity"
 	"p2plb/internal/sim"
 	"p2plb/internal/topology"
 	"p2plb/internal/workload"
 )
+
+// UseDefault marks a Setup field whose zero value is meaningful
+// (Epsilon, Sigma) as "use the package default". Zero is taken
+// literally for those fields: Epsilon = 0 really runs the balancer at
+// ε = 0 and Sigma = 0 draws a deterministic load. DefaultSetup seeds
+// them with UseDefault.
+const UseDefault = -1
 
 // Setup parameterizes one experiment instance.
 type Setup struct {
@@ -33,16 +41,20 @@ type Setup struct {
 	Seed      int64
 
 	// Mu is the mean of the total system load; Sigma its standard
-	// deviation (Gaussian model). Zero values default to Nodes·100 and
-	// Mu/200 respectively.
+	// deviation (Gaussian model). Mu = 0 defaults to Nodes·100; a
+	// negative Sigma (UseDefault) becomes Mu/200, while Sigma = 0 is
+	// honoured as a zero-variance load.
 	Mu, Sigma float64
 	// Pareto selects the Pareto(α=1.5) load model instead of Gaussian.
 	Pareto bool
 
 	Profile workload.Profile // nil → Gnutella-like profile
 
-	Epsilon             float64 // target slack (default 0.05)
-	RendezvousThreshold int     // 0 → paper default 30
+	// Epsilon is the target slack. Negative (UseDefault) becomes the
+	// paper's 0.05; an explicit 0 is honoured — perfect-proportionality
+	// targets.
+	Epsilon             float64
+	RendezvousThreshold int // 0 → paper default 30
 
 	// Topology embeds the overlay in an underlay; nil runs without one
 	// (constant unit latency — Figures 4-6 do not need an underlay).
@@ -58,18 +70,28 @@ type Setup struct {
 	QuantileGrid bool
 
 	Mode core.Mode
+
+	// Metrics, when set, is attached to the instance's engine so the run
+	// records counters, histograms and series (see internal/metrics).
+	// The registry may be shared across instances (multi-trial sweeps);
+	// snapshots then aggregate all of them.
+	Metrics *metrics.Registry
 }
 
 // DefaultSetup returns the paper's baseline configuration (no underlay).
+// Epsilon and Sigma start at UseDefault so fill resolves them to the
+// paper values (0.05 and Mu/200); set either to 0 explicitly to run
+// with zero slack or zero variance.
 func DefaultSetup(seed int64) Setup {
-	return Setup{Nodes: 4096, VSPerNode: 5, K: 2, Seed: seed, Epsilon: 0.05}
+	return Setup{Nodes: 4096, VSPerNode: 5, K: 2, Seed: seed,
+		Epsilon: UseDefault, Sigma: UseDefault}
 }
 
 func (s *Setup) fill() {
 	if s.Mu == 0 {
 		s.Mu = float64(s.Nodes) * 100
 	}
-	if s.Sigma == 0 {
+	if s.Sigma < 0 {
 		s.Sigma = s.Mu / 200
 	}
 	if s.Profile == nil {
@@ -81,7 +103,7 @@ func (s *Setup) fill() {
 	if s.HilbertBits == 0 {
 		s.HilbertBits = proximity.DefaultBitsPerDimension
 	}
-	if s.Epsilon == 0 {
+	if s.Epsilon < 0 {
 		s.Epsilon = 0.05
 	}
 	if s.K == 0 {
@@ -118,6 +140,7 @@ func Build(s Setup) (*Instance, error) {
 	}
 	inst := &Instance{Setup: s}
 	inst.Engine = sim.NewEngine(s.Seed)
+	inst.Engine.SetMetrics(s.Metrics)
 
 	ringCfg := chord.Config{}
 	var underlays []topology.NodeID

@@ -140,7 +140,7 @@ func TestLoadByCapacitySmall(t *testing.T) {
 }
 
 func TestMovedLoadDistributionSmall(t *testing.T) {
-	dist, err := MovedLoadDistribution(smallTopo, 2, 100, 256)
+	dist, err := MovedLoadDistribution(smallTopo, 2, 100, 256, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,13 +162,13 @@ func TestMovedLoadDistributionSmall(t *testing.T) {
 }
 
 func TestMovedLoadDistributionErrors(t *testing.T) {
-	if _, err := MovedLoadDistribution(smallTopo, 0, 1, 128); err == nil {
+	if _, err := MovedLoadDistribution(smallTopo, 0, 1, 128, nil); err == nil {
 		t.Error("zero graphs should fail")
 	}
 }
 
 func TestVSATimesScaling(t *testing.T) {
-	rows, err := VSATimes([]int{2, 8}, []int{64, 256}, 6)
+	rows, err := VSATimes([]int{2, 8}, []int{64, 256}, 6, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,10 +256,10 @@ func TestLoadByCapacityDriver(t *testing.T) {
 }
 
 func TestVSATimesErrors(t *testing.T) {
-	if _, err := VSATimes([]int{1}, []int{64}, 1); err == nil {
+	if _, err := VSATimes([]int{1}, []int{64}, 1, nil); err == nil {
 		t.Error("K=1 should fail")
 	}
-	if _, err := VSATimes([]int{2}, []int{0}, 1); err == nil {
+	if _, err := VSATimes([]int{2}, []int{0}, 1, nil); err == nil {
 		t.Error("zero nodes should fail")
 	}
 }

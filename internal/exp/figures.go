@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"p2plb/internal/core"
+	"p2plb/internal/metrics"
 	"p2plb/internal/par"
 	"p2plb/internal/stats"
 	"p2plb/internal/topology"
@@ -123,8 +124,10 @@ func (m *MovedLoadDist) MeanHops() (aware, ignorant float64) {
 // MovedLoadDistribution reproduces Figures 7 and 8: run one
 // load-balancing round per mode on `graphs` independent topology
 // instances (the paper runs 10 graphs per topology) and aggregate the
-// moved-load-versus-distance histograms. Instances run in parallel.
-func MovedLoadDistribution(topo func(seed int64) topology.Params, graphs int, seedBase int64, nodes int) (*MovedLoadDist, error) {
+// moved-load-versus-distance histograms. Instances run in parallel; a
+// non-nil registry is shared across all of them (its primitives are
+// concurrency-safe), so one snapshot covers the whole sweep.
+func MovedLoadDistribution(topo func(seed int64) topology.Params, graphs int, seedBase int64, nodes int, reg *metrics.Registry) (*MovedLoadDist, error) {
 	if graphs < 1 {
 		return nil, fmt.Errorf("exp: need at least one graph instance")
 	}
@@ -148,6 +151,7 @@ func MovedLoadDistribution(topo func(seed int64) topology.Params, graphs int, se
 		s.Nodes = nodes
 		s.Topology = &p
 		s.Mode = tr.mode
+		s.Metrics = reg
 		inst, err := Build(s)
 		if err != nil {
 			return trialOut{tr.mode, nil, err}
@@ -189,14 +193,16 @@ type PhaseTimes struct {
 }
 
 // VSATimes measures phase completion times for the given tree degrees
-// and system sizes under the default Gaussian workload.
-func VSATimes(ks []int, sizes []int, seed int64) ([]PhaseTimes, error) {
+// and system sizes under the default Gaussian workload. A non-nil
+// registry is shared by every run.
+func VSATimes(ks []int, sizes []int, seed int64, reg *metrics.Registry) ([]PhaseTimes, error) {
 	var rows []PhaseTimes
 	for _, k := range ks {
 		for _, n := range sizes {
 			s := DefaultSetup(seed)
 			s.Nodes = n
 			s.K = k
+			s.Metrics = reg
 			inst, err := Build(s)
 			if err != nil {
 				return nil, err

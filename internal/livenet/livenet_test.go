@@ -7,6 +7,7 @@ import (
 	"p2plb/internal/core"
 	"p2plb/internal/ident"
 	"p2plb/internal/ktree"
+	"p2plb/internal/par"
 	"p2plb/internal/sim"
 	"p2plb/internal/workload"
 )
@@ -199,6 +200,39 @@ func BenchmarkConcurrentRound(b *testing.B) {
 		ring, tree := fixture(int64(i), 512, 5)
 		if _, err := RunRound(ring, tree, core.Config{Epsilon: 0.05}, int64(i)); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// TestParallelSweepIsolation is the -race regression test for the
+// sim.Engine.Rand() single-goroutine contract: a parallel sweep over
+// RunRound instances is only safe when every worker owns its engine,
+// ring and tree outright (the pattern figure sweeps use via par.Map).
+// Each worker builds a private fixture, runs a round, and the sweep is
+// repeated to pin down determinism; sharing any of those objects across
+// workers would trip the race detector here.
+func TestParallelSweepIsolation(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	sweep := func() []float64 {
+		return par.Map(seeds, 0, func(seed int64) float64 {
+			ring, tree := fixture(seed, 96, 4)
+			res, err := RunRound(ring, tree, core.Config{Epsilon: 0.05}, seed)
+			if err != nil {
+				t.Error(err)
+				return -1
+			}
+			if res.MovedLoad <= 0 {
+				t.Errorf("seed %d moved no load", seed)
+			}
+			return res.MovedLoad
+		})
+	}
+	first := sweep()
+	second := sweep()
+	for i := range seeds {
+		if first[i] != second[i] {
+			t.Errorf("seed %d: moved load %v then %v — parallel sweep not deterministic",
+				seeds[i], first[i], second[i])
 		}
 	}
 }

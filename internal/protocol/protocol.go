@@ -172,6 +172,7 @@ func (r *Runner) StartRound(done func(*Result, error)) error {
 		}},
 		finish: func(res *Result, err error) {
 			r.roundActive = false
+			r.recordRound(res, err)
 			done(res, err)
 		},
 	}
@@ -194,6 +195,34 @@ func (r *Runner) StartRound(done func(*Result, error)) error {
 		// epoch starts once all deliveries and publications are done.
 	})
 	return nil
+}
+
+// recordRound publishes one round's outcome to the engine's metrics
+// registry (no-op without one): measured per-phase durations in virtual
+// latency units plus the failure evidence a message-level round can
+// produce (timed-out child epochs, aborted transfers).
+func (r *Runner) recordRound(res *Result, err error) {
+	reg := r.eng.Metrics()
+	if reg == nil {
+		return
+	}
+	reg.Counter("protocol.rounds").Inc()
+	if err != nil {
+		reg.Counter("protocol.round_errors").Inc()
+		return
+	}
+	reg.Histogram("protocol.phase.lbi_aggregate").Observe(int64(res.TimeLBIAggregate))
+	reg.Histogram("protocol.phase.lbi_disseminate").Observe(int64(res.TimeLBIDisseminate - res.TimeLBIAggregate))
+	if res.TimePublish > 0 {
+		reg.Histogram("protocol.phase.publish").Observe(int64(res.TimePublish - res.TimeLBIDisseminate))
+	}
+	reg.Histogram("protocol.phase.vsa").Observe(int64(res.TimeVSAComplete))
+	reg.Histogram("protocol.phase.vst").Observe(int64(res.TimeVSTComplete))
+	reg.Counter("protocol.timeouts").Add(int64(res.TimedOutChildren))
+	reg.Counter("protocol.aborted_transfers").Add(int64(res.AbortedTransfers))
+	reg.Counter("protocol.pairs.assigned").Add(int64(len(res.Assignments)))
+	reg.Counter("protocol.pairs.unassigned").Add(int64(res.UnassignedOffers))
+	reg.Float("protocol.moved_load").Add(res.MovedLoad)
 }
 
 // alive reports whether the KT node is currently operational (its

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+
+	"p2plb/internal/metrics"
 )
 
 // Time is a point in virtual time, in latency units.
@@ -57,6 +59,18 @@ type Engine struct {
 	msgCount map[string]int64
 	msgCost  map[string]int64
 	executed uint64
+
+	// Optional metrics sink. Per-kind counters are cached (one map
+	// lookup per message) so the per-message hot path never takes the
+	// registry lock.
+	reg        *metrics.Registry
+	mMsg       map[string]msgCounters
+	queueDepth *metrics.Histogram
+}
+
+// msgCounters pairs the registry counters for one message kind.
+type msgCounters struct {
+	count, cost *metrics.Counter
 }
 
 // NewEngine returns an engine at time 0 with a deterministic RNG.
@@ -73,7 +87,32 @@ func (e *Engine) Now() Time { return e.now }
 
 // Rand returns the engine's RNG. All randomness in a simulation must come
 // from here to keep runs reproducible.
+//
+// The returned *rand.Rand is NOT safe for concurrent use, like the
+// engine itself: an engine and everything hanging off it belong to one
+// goroutine. Code that fans work out across goroutines (livenet's
+// parallel sweeps, exp's multi-trial runs) must either consume all
+// randomness sequentially before the fan-out or give each worker its
+// own engine/RNG seeded from the parent — never share this one.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// SetMetrics attaches a metrics registry; nil detaches. Attach before
+// the simulation starts (message counts recorded earlier are not
+// replayed into the registry). The registry may be shared by several
+// engines running on different goroutines — its primitives are
+// concurrency-safe — but SetMetrics itself follows the engine's
+// single-goroutine contract.
+func (e *Engine) SetMetrics(r *metrics.Registry) {
+	e.reg = r
+	e.mMsg, e.queueDepth = nil, nil
+	if r != nil {
+		e.mMsg = make(map[string]msgCounters)
+		e.queueDepth = r.Histogram("sim.queue.depth")
+	}
+}
+
+// Metrics returns the attached registry (nil when none).
+func (e *Engine) Metrics() *metrics.Registry { return e.reg }
 
 // Schedule runs fn after delay units of virtual time. A zero delay runs
 // fn after all events already scheduled for the current instant.
@@ -84,6 +123,9 @@ func (e *Engine) Schedule(delay Time, fn func()) {
 	}
 	e.seq++
 	heap.Push(&e.events, event{at: e.now + delay, seq: e.seq, fn: fn})
+	if e.queueDepth != nil {
+		e.queueDepth.Observe(int64(len(e.events)))
+	}
 }
 
 // Every schedules fn to run now+interval, now+2·interval, … until the
@@ -152,6 +194,18 @@ func (e *Engine) Executed() uint64 { return e.executed }
 func (e *Engine) CountMessage(kind string, cost Time) {
 	e.msgCount[kind]++
 	e.msgCost[kind] += int64(cost)
+	if e.reg != nil {
+		mc, ok := e.mMsg[kind]
+		if !ok {
+			mc = msgCounters{
+				count: e.reg.Counter("msg." + kind + ".count"),
+				cost:  e.reg.Counter("msg." + kind + ".cost"),
+			}
+			e.mMsg[kind] = mc
+		}
+		mc.count.Inc()
+		mc.cost.Add(int64(cost))
+	}
 }
 
 // MessageCount returns how many messages of kind were counted.

@@ -22,21 +22,29 @@ type Summary struct {
 }
 
 // Summarize computes a Summary of xs. It returns a zero Summary for an
-// empty sample.
+// empty sample. It copies and sorts xs once; callers that already hold
+// sorted data (or need several percentiles of the same sample) should
+// sort once themselves and use SummarizeSorted/PercentileSorted.
 func Summarize(xs []float64) Summary {
 	if len(xs) == 0 {
 		return Summary{}
 	}
-	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return SummarizeSorted(sorted)
+}
+
+// SummarizeSorted computes a Summary of an ascending-sorted sample
+// without copying or re-sorting it. xs is not modified.
+func SummarizeSorted(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[len(xs)-1]}
 	var sum float64
 	for _, x := range xs {
 		sum += x
-		if x < s.Min {
-			s.Min = x
-		}
-		if x > s.Max {
-			s.Max = x
-		}
 	}
 	s.Mean = sum / float64(len(xs))
 	if len(xs) > 1 {
@@ -47,13 +55,15 @@ func Summarize(xs []float64) Summary {
 		}
 		s.Std = math.Sqrt(ss / float64(len(xs)-1))
 	}
-	s.Median = Percentile(xs, 50)
+	s.Median = PercentileSorted(xs, 50)
 	return s
 }
 
 // Percentile returns the p-th percentile (0..100) of xs using linear
 // interpolation between order statistics. It does not modify xs.
-// It returns NaN for an empty sample.
+// It returns NaN for an empty sample. It copies and sorts xs on every
+// call; use PercentileSorted on pre-sorted data to avoid the O(n log n)
+// per query.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return math.NaN()
@@ -61,6 +71,16 @@ func Percentile(xs []float64, p float64) float64 {
 	sorted := make([]float64, len(xs))
 	copy(sorted, xs)
 	sort.Float64s(sorted)
+	return PercentileSorted(sorted, p)
+}
+
+// PercentileSorted returns the p-th percentile (0..100) of an
+// ascending-sorted sample with linear interpolation, without copying or
+// re-sorting. It returns NaN for an empty sample.
+func PercentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
 	if p <= 0 {
 		return sorted[0]
 	}

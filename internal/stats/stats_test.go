@@ -3,6 +3,7 @@ package stats
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -211,5 +212,48 @@ func TestGroupedSum(t *testing.T) {
 	}
 	if g.Mean(555) != 0 || g.Count(555) != 0 {
 		t.Error("unseen class should report zeros")
+	}
+}
+
+func TestSortedVariantsMatchUnsorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		xs := make([]float64, 1+rng.Intn(200))
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		want := Summarize(xs)
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		got := SummarizeSorted(sorted)
+		if got != want {
+			t.Fatalf("SummarizeSorted = %+v, Summarize = %+v", got, want)
+		}
+		for _, p := range []float64{0, 1, 25, 50, 90, 99, 100} {
+			if a, b := Percentile(xs, p), PercentileSorted(sorted, p); a != b {
+				t.Fatalf("p%v: Percentile %v != PercentileSorted %v", p, a, b)
+			}
+		}
+	}
+}
+
+func TestPercentileSortedDegenerate(t *testing.T) {
+	if !math.IsNaN(PercentileSorted(nil, 50)) {
+		t.Error("empty sample should be NaN")
+	}
+	if got := PercentileSorted([]float64{7}, 99); got != 7 {
+		t.Errorf("single sample p99 = %v", got)
+	}
+	if s := SummarizeSorted(nil); s.N != 0 {
+		t.Errorf("empty SummarizeSorted = %+v", s)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
 	}
 }
