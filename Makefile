@@ -1,6 +1,8 @@
 # Convenience targets; `make check` is the tier-1 gate (see ROADMAP.md).
+# `make lint` runs the project static-analysis suite alone for fast
+# iteration on lbvet findings.
 
-.PHONY: check build test race fmt
+.PHONY: check build test race fmt lint
 
 check:
 	./ci.sh
@@ -12,7 +14,10 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/livenet/ ./internal/par/ ./internal/sim/
+	go test -race ./internal/livenet/ ./internal/par/ ./internal/sim/ ./internal/ktree/ ./internal/daemon/
 
 fmt:
-	gofmt -w .
+	gofmt -s -w .
+
+lint:
+	go run ./cmd/lbvet

@@ -1,24 +1,30 @@
 #!/bin/sh
 # ci.sh — the full pre-merge check, also reachable as `make check`.
 #
-# Order matters: cheap static checks first so formatting or vet
-# failures surface before the minutes-long test run. The race pass
-# covers the packages that exercise real concurrency (livenet's
-# goroutine-per-KT-node rounds, par's worker pools, sim's engine
-# contract); the rest of the tree is single-goroutine by design.
+# Order matters: cheap static checks first (gofmt, vet, lbvet) so
+# formatting, vet or invariant findings surface before the minutes-long
+# test run. lbvet runs the project-specific analyzers (randcontract,
+# nondeterminism, identcompare, metricsguard — see DESIGN.md "Enforced
+# invariants"). The race pass covers the packages that exercise real
+# concurrency (livenet's goroutine-per-KT-node rounds, par's worker
+# pools, sim's engine contract, ktree's and daemon's goroutine-spawning
+# tests); the rest of the tree is single-goroutine by design.
 set -eu
 cd "$(dirname "$0")"
 
-echo "== gofmt"
-unformatted=$(gofmt -l .)
+echo "== gofmt -s"
+unformatted=$(gofmt -s -l .)
 if [ -n "$unformatted" ]; then
-	echo "gofmt needed on:" >&2
+	echo "gofmt -s needed on:" >&2
 	echo "$unformatted" >&2
 	exit 1
 fi
 
 echo "== go vet"
 go vet ./...
+
+echo "== lbvet"
+go run ./cmd/lbvet
 
 echo "== go build"
 go build ./...
@@ -27,6 +33,6 @@ echo "== go test"
 go test ./...
 
 echo "== go test -race (concurrent packages)"
-go test -race ./internal/livenet/ ./internal/par/ ./internal/sim/
+go test -race ./internal/livenet/ ./internal/par/ ./internal/sim/ ./internal/ktree/ ./internal/daemon/
 
 echo "ci: all checks passed"

@@ -1,0 +1,67 @@
+// Command lbvet runs the project's static-analysis suite: the
+// machine-checked invariants of internal/analysis (randcontract,
+// nondeterminism, identcompare, metricsguard) over every package in
+// the module, including test files. It prints findings as
+// file:line:col and exits nonzero when any survive the
+// //lbvet:ignore annotations, so ci.sh can gate on it between vet and
+// build.
+//
+// Usage:
+//
+//	lbvet [-C dir] [-run analyzer,analyzer] [-list]
+//
+// Suppress a deliberate violation with a trailing (or
+// immediately-preceding) comment carrying a mandatory justification:
+//
+//	//lbvet:ignore <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"p2plb/internal/analysis"
+)
+
+func main() {
+	dir := flag.String("C", ".", "directory inside the module to vet")
+	run := flag.String("run", "all", "comma-separated analyzers to run")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	analyzers, err := analysis.ByName(*run)
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := analysis.NewLoader(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		fatal(err)
+	}
+	total := 0
+	for _, pkg := range pkgs {
+		for _, f := range analysis.RunAnalyzers(pkg, analyzers) {
+			fmt.Println(f)
+			total++
+		}
+	}
+	if total > 0 {
+		fmt.Fprintf(os.Stderr, "lbvet: %d finding(s)\n", total)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lbvet:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,312 @@
+// Package analysis is lbvet's engine: a stdlib-only static-analysis
+// driver (go/ast + go/parser + go/types + go/build, no go/packages)
+// with project-specific analyzers that machine-check the invariants
+// this reproduction otherwise enforces only by comment and review:
+//
+//   - randcontract: the sim.Engine.Rand single-goroutine contract —
+//     no engine RNG (or any captured *math/rand.Rand) used inside a
+//     `go` statement or a par worker callback.
+//   - nondeterminism: the deterministic packages (sim, core, protocol,
+//     ktree, exp, workload) must not read wall clocks, the global
+//     math/rand source, or feed results from unordered map iteration.
+//   - identcompare: no raw </>/- arithmetic on ident.ID outside
+//     internal/ident — it silently breaks at the 2^32 ring wrap; use
+//     Dist/Between/Region instead.
+//   - metricsguard: metric registry calls on hot paths stay behind the
+//     nil-registry guard pattern established by the metrics layer.
+//
+// Findings can be suppressed with an annotation on the same line or
+// the line immediately above:
+//
+//	//lbvet:ignore <analyzer> <reason>
+//
+// The reason is mandatory; an ignore without one is itself reported.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer checks one invariant over a type-checked package.
+type Analyzer struct {
+	// Name is the analyzer's identifier, used in reports and in
+	// lbvet:ignore annotations.
+	Name string
+	// Doc is a one-line description for `lbvet -help`.
+	Doc string
+	// Run inspects the package and reports findings through pass.
+	Run func(pass *Pass)
+}
+
+// Pass carries one type-checked package through an analyzer run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Path is the package's import path ("p2plb/internal/sim").
+	Path string
+	// Files are the parsed source files, including in-package tests.
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Finding is one reported invariant violation.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// All returns the analyzers in the order lbvet runs them.
+func All() []*Analyzer {
+	return []*Analyzer{
+		RandContract,
+		Nondeterminism,
+		IdentCompare,
+		MetricsGuard,
+	}
+}
+
+// ByName resolves a comma-separated analyzer list ("all" or "" means
+// every analyzer).
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" || names == "all" {
+		return All(), nil
+	}
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// ignoreDirective is one parsed //lbvet:ignore comment.
+type ignoreDirective struct {
+	analyzer string
+	reason   string
+	pos      token.Position
+	used     bool
+}
+
+const ignorePrefix = "//lbvet:ignore"
+
+// collectIgnores parses the lbvet:ignore annotations of a file into a
+// map from the source line they apply to (their own line, which also
+// covers the line below for standalone comments) to directives.
+func collectIgnores(fset *token.FileSet, f *ast.File) []*ignoreDirective {
+	var out []*ignoreDirective
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, ignorePrefix) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+			name, reason, _ := strings.Cut(rest, " ")
+			out = append(out, &ignoreDirective{
+				analyzer: name,
+				reason:   strings.TrimSpace(reason),
+				pos:      fset.Position(c.Pos()),
+			})
+		}
+	}
+	return out
+}
+
+// Filter drops findings suppressed by lbvet:ignore annotations in files
+// and reports malformed or unused annotations as findings of the
+// pseudo-analyzer "lbvet" (those cannot be suppressed). It returns the
+// surviving findings sorted by position.
+func Filter(fset *token.FileSet, files []*ast.File, findings []Finding) []Finding {
+	var directives []*ignoreDirective
+	for _, f := range files {
+		directives = append(directives, collectIgnores(fset, f)...)
+	}
+	var out []Finding
+	for _, fd := range findings {
+		suppressed := false
+		for _, d := range directives {
+			if d.analyzer != fd.Analyzer || d.reason == "" {
+				continue
+			}
+			if d.pos.Filename != fd.Pos.Filename {
+				continue
+			}
+			// An annotation covers its own line (trailing comment) and
+			// the line immediately below (standalone comment line).
+			if d.pos.Line == fd.Pos.Line || d.pos.Line == fd.Pos.Line-1 {
+				d.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, fd)
+		}
+	}
+	for _, d := range directives {
+		switch {
+		case d.analyzer == "":
+			out = append(out, Finding{
+				Analyzer: "lbvet",
+				Pos:      d.pos,
+				Message:  "lbvet:ignore needs an analyzer name and a reason",
+			})
+		case d.reason == "":
+			out = append(out, Finding{
+				Analyzer: "lbvet",
+				Pos:      d.pos,
+				Message:  fmt.Sprintf("lbvet:ignore %s needs a justification (//lbvet:ignore %s <reason>)", d.analyzer, d.analyzer),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out
+}
+
+// RunAnalyzers runs each analyzer over the pass's package and returns
+// the ignore-filtered findings.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Finding {
+	var raw []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Path:     pkg.Path,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			findings: &raw,
+		}
+		a.Run(pass)
+	}
+	return Filter(pkg.Fset, pkg.Files, raw)
+}
+
+// ---- shared type helpers ----
+
+// isPtrToPkgType reports whether t is a pointer to a named type
+// declared in the package whose import path ends with pkgSuffix.
+// An empty name matches any type of that package.
+func isPtrToPkgType(t types.Type, pkgSuffix, name string) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	return isPkgType(ptr.Elem(), pkgSuffix, name)
+}
+
+// isPkgType reports whether t is the named type pkgSuffix.name (the
+// package is matched by import-path suffix so testdata fixtures and
+// the real module both resolve).
+func isPkgType(t types.Type, pkgSuffix, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	if !hasPathSuffix(obj.Pkg().Path(), pkgSuffix) {
+		return false
+	}
+	return name == "" || obj.Name() == name
+}
+
+// hasPathSuffix reports whether path equals suffix or ends in
+// "/"+suffix (import-path-segment-aware suffix match).
+func hasPathSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// pkgFunc resolves a called expression to the *types.Func it invokes,
+// or nil for non-function calls (conversions, built-ins, func values).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// methodOn reports whether fn is the method recvPkgSuffix.recvType.name
+// (pointer or value receiver).
+func methodOn(fn *types.Func, recvPkgSuffix, recvType, name string) bool {
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if ptr, ok := rt.(*types.Pointer); ok {
+		rt = ptr.Elem()
+	}
+	return isPkgType(rt, recvPkgSuffix, recvType)
+}
+
+// rootIdent walks to the leftmost identifier of a selector/index/paren
+// chain (v, v.f, v.f[i].g → v). It returns nil when the chain is rooted
+// in something else (call result, literal).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// loadFixture loads one testdata package through the real loader.
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.LoadDir(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", name, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("LoadDir(%s): got %d packages, want 1", name, len(pkgs))
+	}
+	return pkgs[0]
+}
+
+var wantRE = regexp.MustCompile(`// want "([^"]*)"`)
+
+// wants extracts the golden expectations: file:line → message
+// substrings that must each match exactly one finding on that line.
+func collectWants(pkg *Package) map[string][]string {
+	out := make(map[string][]string)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+					pos := pkg.Fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					out[key] = append(out[key], m[1])
+				}
+			}
+		}
+	}
+	return out
+}
+
+// runGolden checks an analyzer against its fixture: every `// want`
+// line must produce a matching finding, and no other line may produce
+// any (that is the clean-case half of the golden file).
+func runGolden(t *testing.T, a *Analyzer) {
+	t.Helper()
+	pkg := loadFixture(t, a.Name)
+	findings := RunAnalyzers(pkg, []*Analyzer{a})
+	wants := collectWants(pkg)
+	matched := make(map[string]int)
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)
+		subs := wants[key]
+		ok := false
+		for i, sub := range subs {
+			if strings.Contains(f.Message, sub) {
+				matched[fmt.Sprintf("%s#%d", key, i)]++
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for key, subs := range wants {
+		for i, sub := range subs {
+			if matched[fmt.Sprintf("%s#%d", key, i)] == 0 {
+				t.Errorf("%s: expected a finding matching %q, got none", key, sub)
+			}
+		}
+	}
+}
+
+func TestRandContractGolden(t *testing.T)   { runGolden(t, RandContract) }
+func TestNondeterminismGolden(t *testing.T) { runGolden(t, Nondeterminism) }
+func TestIdentCompareGolden(t *testing.T)   { runGolden(t, IdentCompare) }
+func TestMetricsGuardGolden(t *testing.T)   { runGolden(t, MetricsGuard) }
+
+// TestIgnoreDirectives covers the annotation machinery beyond the
+// suppression already exercised by the identcompare fixture: a
+// reasonless ignore suppresses nothing and is itself reported.
+func TestIgnoreDirectives(t *testing.T) {
+	pkg := loadFixture(t, "ignores")
+	findings := RunAnalyzers(pkg, []*Analyzer{IdentCompare})
+	var identHits, lbvetHits int
+	for _, f := range findings {
+		switch f.Analyzer {
+		case "identcompare":
+			identHits++
+		case "lbvet":
+			lbvetHits++
+			if !strings.Contains(f.Message, "justification") {
+				t.Errorf("lbvet finding should demand a justification: %s", f)
+			}
+		default:
+			t.Errorf("unexpected analyzer %q: %s", f.Analyzer, f)
+		}
+	}
+	// One raw comparison under a reasonless ignore (still reported),
+	// one under a reasoned ignore (suppressed), plus the reasonless
+	// directive itself.
+	if identHits != 1 {
+		t.Errorf("identcompare findings = %d, want 1 (reasonless ignore must not suppress)", identHits)
+	}
+	if lbvetHits != 1 {
+		t.Errorf("lbvet findings = %d, want 1 (the reasonless directive)", lbvetHits)
+	}
+}
+
+// TestLoadModule smoke-tests the module walker: it must find the
+// well-known packages and type-check them without error.
+func TestLoadModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	for _, p := range pkgs {
+		seen[p.Path] = true
+	}
+	for _, want := range []string{
+		"p2plb",                   // test-only root package
+		"p2plb/internal/sim",      // deterministic core
+		"p2plb/internal/analysis", // this package
+		"p2plb/cmd/lbvet",         // the driver
+	} {
+		if !seen[want] {
+			t.Errorf("LoadModule missed %s (got %d packages)", want, len(pkgs))
+		}
+	}
+}
+
+// TestByName covers the analyzer-selection flag parsing.
+func TestByName(t *testing.T) {
+	all, err := ByName("all")
+	if err != nil || len(all) != len(All()) {
+		t.Fatalf("ByName(all) = %d analyzers, err %v", len(all), err)
+	}
+	one, err := ByName("identcompare")
+	if err != nil || len(one) != 1 || one[0] != IdentCompare {
+		t.Fatalf("ByName(identcompare) = %v, err %v", one, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("ByName(nope) should error")
+	}
+}
+
+// assertNoLintIn keeps the fixture wants honest: each fixture must
+// contain at least one want (flagged case) and at least one function
+// with none (clean case) — guaranteed structurally by runGolden plus
+// this sanity check on the fixtures themselves.
+func TestFixturesHaveFlaggedAndCleanCases(t *testing.T) {
+	for _, a := range All() {
+		pkg := loadFixture(t, a.Name)
+		wants := collectWants(pkg)
+		if len(wants) == 0 {
+			t.Errorf("%s fixture has no flagged cases", a.Name)
+		}
+		cleanFuncs := 0
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				if strings.HasPrefix(fd.Name.Name, "good") {
+					cleanFuncs++
+				}
+			}
+		}
+		if cleanFuncs == 0 {
+			t.Errorf("%s fixture has no good* clean cases", a.Name)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// IdentCompare forbids raw ordering/difference arithmetic on ident.ID
+// outside internal/ident. The identifier space is a ring of integers
+// mod 2^32: `a < b` and `a - b` silently give the wrong answer when the
+// arc between a and b crosses zero, which is exactly the case overlay
+// maintenance must survive. Callers should use ident.ID.Dist/Between
+// and the Region helpers; deliberate total-order uses (canonical
+// sorting, dedup tiebreaks) are annotated, not rewritten.
+var IdentCompare = &Analyzer{
+	Name: "identcompare",
+	Doc:  "flag raw </>/− arithmetic on ident.ID outside internal/ident (breaks at ring wrap-around)",
+	Run:  runIdentCompare,
+}
+
+func runIdentCompare(pass *Pass) {
+	if hasPathSuffix(pass.Path, "internal/ident") {
+		return // the one package allowed to do raw ID arithmetic
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			switch be.Op {
+			case token.LSS, token.LEQ, token.GTR, token.GEQ, token.SUB:
+			default:
+				return true
+			}
+			if !isIdentID(pass, be.X) && !isIdentID(pass, be.Y) {
+				return true
+			}
+			verb := "comparison"
+			hint := "ident.ID.Dist/Between or Region.Contains"
+			if be.Op == token.SUB {
+				verb = "subtraction"
+				hint = "ident.ID.Dist (clockwise distance)"
+			}
+			pass.Reportf(be.OpPos, "raw ident.ID %s %q wraps incorrectly at the ring boundary; use %s, or annotate a deliberate total-order use with //lbvet:ignore identcompare <reason>", verb, exprString(be), hint)
+			return true
+		})
+	}
+}
+
+func isIdentID(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && isPkgType(tv.Type, "internal/ident", "ID")
+}

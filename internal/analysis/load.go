@@ -1,0 +1,267 @@
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Fset  *token.FileSet
+	Path  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader walks a module with go/build, parses it with go/parser and
+// type-checks it with go/types. Module-internal imports are resolved
+// recursively from source by the loader itself; everything else
+// (stdlib) goes through the compiler's source importer. No go/packages,
+// no export data, no subprocesses.
+type Loader struct {
+	Fset       *token.FileSet
+	ModuleRoot string
+	ModulePath string
+
+	ctx   build.Context
+	std   types.Importer
+	cache map[string]*types.Package
+}
+
+// NewLoader locates the module containing dir (by walking up to the
+// nearest go.mod) and returns a loader rooted there.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:       fset,
+		ModuleRoot: root,
+		ModulePath: modPath,
+		ctx:        build.Default,
+		std:        importer.ForCompiler(fset, "source", nil),
+		cache:      make(map[string]*types.Package),
+	}, nil
+}
+
+// modulePath extracts the module declaration from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("%s: no module declaration", gomod)
+}
+
+// Import implements types.Importer: module-internal paths load from
+// source through the loader (export view, without test files);
+// anything else is delegated to the stdlib source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if rel, ok := l.moduleRel(path); ok {
+		if pkg, ok := l.cache[path]; ok {
+			return pkg, nil
+		}
+		dir := filepath.Join(l.ModuleRoot, filepath.FromSlash(rel))
+		bp, err := l.ctx.ImportDir(dir, 0)
+		if err != nil {
+			return nil, fmt.Errorf("import %q: %w", path, err)
+		}
+		files, err := l.parse(dir, bp.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkg, err := l.check(path, files, nil)
+		if err != nil {
+			return nil, err
+		}
+		l.cache[path] = pkg
+		return pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// moduleRel maps a module-internal import path to its module-relative
+// directory ("" for the root package).
+func (l *Loader) moduleRel(path string) (string, bool) {
+	if path == l.ModulePath {
+		return "", true
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+		return rest, true
+	}
+	return "", false
+}
+
+func (l *Loader) parse(dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// check type-checks one set of files as a package. When info is nil a
+// bare export-view check is performed (for imports); passing an info
+// records the full use/def/type facts analyzers need.
+func (l *Loader) check(path string, files []*ast.File, info *types.Info) (*types.Package, error) {
+	conf := types.Config{
+		Importer: l,
+		Sizes:    types.SizesFor("gc", l.ctx.GOARCH),
+	}
+	return conf.Check(path, l.Fset, files, info)
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}
+
+// LoadDir loads the package in dir for analysis: the package proper
+// plus its in-package test files as one unit, and — when present — the
+// external test package (pkg_test) as a second unit. Test-only
+// directories (only _test.go files) are supported.
+func (l *Loader) LoadDir(dir string) ([]*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	bp, err := l.ctx.ImportDir(abs, 0)
+	if err != nil {
+		var noGo *build.NoGoError
+		if !errors.As(err, &noGo) {
+			return nil, err
+		}
+		// Test-only packages still analyze; truly empty dirs don't.
+		if len(bp.TestGoFiles) == 0 && len(bp.XTestGoFiles) == 0 {
+			return nil, nil
+		}
+	}
+	path := l.importPathFor(abs)
+	var out []*Package
+	if names := append(append([]string{}, bp.GoFiles...), bp.TestGoFiles...); len(names) > 0 {
+		pkg, err := l.loadUnit(path, abs, names)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	if len(bp.XTestGoFiles) > 0 {
+		pkg, err := l.loadUnit(path+"_test", abs, bp.XTestGoFiles)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+func (l *Loader) loadUnit(path, dir string, names []string) (*Package, error) {
+	files, err := l.parse(dir, names)
+	if err != nil {
+		return nil, err
+	}
+	info := newInfo()
+	tpkg, err := l.check(path, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		Fset:  l.Fset,
+		Path:  path,
+		Dir:   dir,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// importPathFor derives the import path of a directory inside the
+// module; directories outside it get a synthetic rooted path.
+func (l *Loader) importPathFor(abs string) string {
+	rel, err := filepath.Rel(l.ModuleRoot, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "lbvet.test/" + filepath.ToSlash(filepath.Base(abs))
+	}
+	if rel == "." {
+		return l.ModulePath
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel)
+}
+
+// LoadModule walks the module tree and loads every package in it,
+// skipping vendor, testdata, hidden and underscore-prefixed
+// directories — the same pruning the go tool applies.
+func (l *Loader) LoadModule() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.ModuleRoot, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != l.ModuleRoot && (name == "vendor" || name == "testdata" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, p)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	var out []*Package
+	for _, dir := range dirs {
+		pkgs, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkgs...)
+	}
+	return out, nil
+}

@@ -1,0 +1,209 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MetricsGuard enforces the nil-registry guard pattern the metrics
+// layer established: a simulation runs with no registry attached by
+// default, so every metric call on a maybe-nil value — the result of
+// sim.Engine.Metrics(), a cached metric field, a registry handed in
+// from outside — must sit behind a nil check. Recognised guards:
+//
+//	if reg != nil { reg.Counter("x").Inc() }         // enclosing if
+//	if reg := e.Metrics(); reg != nil { … }          // if-with-init
+//	reg := e.Metrics(); if reg == nil { return }; …  // early return
+//	if b.mHist == nil { …populate or bail… }; …      // populate-once
+//
+// Values that are provably non-nil — results of metrics-package
+// constructors and Registry get-or-create methods, or variables
+// initialised from them — need no guard.
+var MetricsGuard = &Analyzer{
+	Name: "metricsguard",
+	Doc:  "require the nil-registry guard pattern around metric calls on hot paths",
+	Run:  runMetricsGuard,
+}
+
+func runMetricsGuard(pass *Pass) {
+	if hasPathSuffix(pass.Path, "internal/metrics") {
+		return // the metrics package owns its own internals
+	}
+	for _, file := range pass.Files {
+		inspectStack(file, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			recv := sel.X
+			tv, ok := pass.Info.Types[recv]
+			if !ok || !isMetricType(tv.Type) {
+				return true
+			}
+			if definitelyNonNil(pass, recv) || nilGuarded(pass, recv, call, stack) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "%s.%s on a maybe-nil metric value: hot paths run without a registry attached; guard with `if %s != nil { … }` or an early `if … == nil { return }` (see the nil-registry pattern in internal/sim)", exprString(recv), sel.Sel.Name, exprString(recv))
+			return true
+		})
+	}
+}
+
+// isMetricType reports whether t is a pointer to any named type of
+// internal/metrics (Registry, Counter, Histogram, Series, …).
+func isMetricType(t types.Type) bool {
+	return isPtrToPkgType(t, "internal/metrics", "")
+}
+
+// definitelyNonNil recognises receiver expressions that cannot be nil:
+// direct results of metrics-package functions or Registry/metric
+// methods (get-or-create never returns nil), address-of expressions,
+// and local variables initialised from either.
+func definitelyNonNil(pass *Pass, e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		fn := calleeFunc(pass.Info, x)
+		return fn != nil && fn.Pkg() != nil && hasPathSuffix(fn.Pkg().Path(), "internal/metrics")
+	case *ast.UnaryExpr:
+		return x.Op.String() == "&"
+	case *ast.Ident:
+		obj := pass.Info.Uses[x]
+		if obj == nil {
+			return false
+		}
+		if init := initializerOf(pass, obj); init != nil {
+			return definitelyNonNil(pass, init)
+		}
+	}
+	return false
+}
+
+// initializerOf finds the expression a variable was defined with
+// (`x := expr`, `var x = expr`), or nil when there is none or the
+// object is not a local variable.
+func initializerOf(pass *Pass, obj types.Object) ast.Expr {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return nil
+	}
+	for id, def := range pass.Info.Defs {
+		if def != v {
+			continue
+		}
+		return definedValue(pass, id)
+	}
+	return nil
+}
+
+// definedValue locates the RHS expression paired with a defining
+// identifier by scanning the file containing it.
+func definedValue(pass *Pass, id *ast.Ident) ast.Expr {
+	var file *ast.File
+	for _, f := range pass.Files {
+		if containsNode(f, id) {
+			file = f
+			break
+		}
+	}
+	if file == nil {
+		return nil
+	}
+	var out ast.Expr
+	ast.Inspect(file, func(n ast.Node) bool {
+		if out != nil || n == nil || !containsNode(n, id) {
+			return out == nil
+		}
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range x.Lhs {
+				if lhs == ast.Expr(id) && len(x.Rhs) == len(x.Lhs) {
+					out = x.Rhs[i]
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range x.Names {
+				if name == id && len(x.Values) == len(x.Names) {
+					out = x.Values[i]
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// nilGuarded reports whether the call sits behind a recognised nil
+// check: an enclosing if whose condition nil-tests a metric-typed
+// value, or an earlier statement in an enclosing block of the form
+// `if <metric> == nil { return/..., or populate the cache }`.
+func nilGuarded(pass *Pass, recv ast.Expr, call *ast.CallExpr, stack []ast.Node) bool {
+	metricTyped := func(e ast.Expr) bool {
+		tv, ok := pass.Info.Types[e]
+		return ok && isMetricType(tv.Type)
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch x := stack[i].(type) {
+		case *ast.IfStmt:
+			inBody := containsNode(x.Body, call)
+			inElse := x.Else != nil && containsNode(x.Else, call)
+			if inBody && nilCheckOf(x.Cond, "!=", metricTyped) != nil {
+				return true
+			}
+			if inElse && nilCheckOf(x.Cond, "==", metricTyped) != nil {
+				return true
+			}
+		case *ast.BlockStmt:
+			// Earlier sibling statements that bail (or populate the
+			// cached metric) when the registry is absent guard the
+			// rest of the block.
+			for _, stmt := range x.List {
+				if stmt.End() > call.Pos() {
+					break
+				}
+				ifs, ok := stmt.(*ast.IfStmt)
+				if !ok || nilCheckOf(ifs.Cond, "==", metricTyped) == nil {
+					continue
+				}
+				if bodyBailsOrAssignsMetric(pass, ifs.Body, metricTyped) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// bodyBailsOrAssignsMetric reports whether an `if x == nil` body either
+// leaves the function (return/panic/continue — the early-return guard)
+// or assigns a metric-typed lvalue (the populate-once cache pattern,
+// which leaves the value non-nil on every path that reaches the call).
+func bodyBailsOrAssignsMetric(pass *Pass, body *ast.BlockStmt, metricTyped func(ast.Expr) bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.ReturnStmt, *ast.BranchStmt:
+			found = true
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				found = true
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if metricTyped(lhs) {
+					found = true
+				}
+			}
+		case *ast.FuncLit:
+			return false // a nested closure's returns don't bail this frame
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// RandContract enforces the sim.Engine.Rand single-goroutine contract:
+// inside code that runs on another goroutine — the body (and argument
+// list) of a `go` statement, or a worker callback handed to
+// internal/par — neither the engine RNG nor any *math/rand.Rand
+// captured from the enclosing scope may be touched. The sanctioned
+// pattern is a per-worker engine/RNG seeded from the parent before the
+// fan-out, which the analyzer recognises: an RNG (or engine) declared
+// inside the concurrent region is fine.
+var RandContract = &Analyzer{
+	Name: "randcontract",
+	Doc:  "flag sim.Engine.Rand / captured *rand.Rand use inside go statements and par worker callbacks",
+	Run:  runRandContract,
+}
+
+// concurrentRegion is a source interval whose code executes on a
+// goroutine other than the spawner's.
+type concurrentRegion struct {
+	pos, end token.Pos
+	kind     string // "go statement" or "par worker callback"
+}
+
+func (r concurrentRegion) contains(p token.Pos) bool { return r.pos <= p && p < r.end }
+
+func runRandContract(pass *Pass) {
+	for _, file := range pass.Files {
+		regions := collectConcurrentRegions(pass, file)
+		if len(regions) == 0 {
+			continue
+		}
+		reported := make(map[token.Pos]bool)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				checkEngineRandCall(pass, x, regions, reported)
+			case *ast.Ident, *ast.SelectorExpr:
+				checkCapturedRand(pass, x.(ast.Expr), regions, reported)
+			}
+			return true
+		})
+	}
+}
+
+// collectConcurrentRegions finds the intervals of file that execute on
+// spawned goroutines: every `go` statement (the spawned call and any
+// function literal it runs) and every function-literal argument of a
+// call into internal/par (For, ForChunked, Map, MapErr — any exported
+// helper that fans callbacks out across workers).
+func collectConcurrentRegions(pass *Pass, file *ast.File) []concurrentRegion {
+	var regions []concurrentRegion
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			regions = append(regions, concurrentRegion{x.Pos(), x.End(), "go statement"})
+		case *ast.CallExpr:
+			fn := calleeFunc(pass.Info, x)
+			if fn == nil || fn.Pkg() == nil || !hasPathSuffix(fn.Pkg().Path(), "internal/par") {
+				return true
+			}
+			for _, arg := range x.Args {
+				if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+					regions = append(regions, concurrentRegion{lit.Pos(), lit.End(), "par worker callback"})
+				}
+			}
+		}
+		return true
+	})
+	return regions
+}
+
+// regionOf returns the region containing p, preferring the innermost
+// (latest-starting) match so nested fan-outs report precisely.
+func regionOf(regions []concurrentRegion, p token.Pos) *concurrentRegion {
+	var best *concurrentRegion
+	for i := range regions {
+		if regions[i].contains(p) && (best == nil || regions[i].pos > best.pos) {
+			best = &regions[i]
+		}
+	}
+	return best
+}
+
+// checkEngineRandCall flags X.Rand() calls on a sim.Engine that is
+// captured from outside the concurrent region.
+func checkEngineRandCall(pass *Pass, call *ast.CallExpr, regions []concurrentRegion, reported map[token.Pos]bool) {
+	fn := calleeFunc(pass.Info, call)
+	if !methodOn(fn, "internal/sim", "Engine", "Rand") {
+		return
+	}
+	region := regionOf(regions, call.Pos())
+	if region == nil || reported[call.Pos()] {
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if declaredInside(pass, sel.X, region) {
+		return // per-worker engine: the sanctioned pattern
+	}
+	reported[call.Pos()] = true
+	pass.Reportf(call.Pos(), "%s.Rand() inside a %s: the engine RNG is single-goroutine; give each worker its own engine/RNG seeded before the fan-out", exprString(sel.X), region.kind)
+}
+
+// checkCapturedRand flags reads of *math/rand.Rand values that are
+// captured from outside the concurrent region (locals and fields
+// alike).
+func checkCapturedRand(pass *Pass, e ast.Expr, regions []concurrentRegion, reported map[token.Pos]bool) {
+	tv, ok := pass.Info.Types[e]
+	if !ok || !isMathRandPtr(tv.Type) {
+		return
+	}
+	// Only uses, not the defining identifier of a worker-local RNG.
+	if id, ok := e.(*ast.Ident); ok {
+		if pass.Info.Defs[id] != nil {
+			return
+		}
+	}
+	region := regionOf(regions, e.Pos())
+	if region == nil || reported[e.Pos()] {
+		return
+	}
+	if declaredInside(pass, e, region) {
+		return
+	}
+	reported[e.Pos()] = true
+	pass.Reportf(e.Pos(), "captured *rand.Rand %s used inside a %s: RNGs are single-goroutine; create one per worker from a derived seed", exprString(e), region.kind)
+}
+
+// declaredInside reports whether the root identifier of e refers to an
+// object declared inside the region — i.e. worker-local state. An
+// unresolvable root (call-expression result, literal) counts as
+// captured: the value flowed in from outside.
+func declaredInside(pass *Pass, e ast.Expr, region *concurrentRegion) bool {
+	root := rootIdent(ast.Unparen(e))
+	if root == nil {
+		return false
+	}
+	obj := pass.Info.Uses[root]
+	if obj == nil {
+		obj = pass.Info.Defs[root]
+	}
+	if obj == nil {
+		return false
+	}
+	return region.contains(obj.Pos())
+}
+
+func isMathRandPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	p := named.Obj().Pkg().Path()
+	return (p == "math/rand" || p == "math/rand/v2") && named.Obj().Name() == "Rand"
+}

@@ -1,0 +1,17 @@
+// Fixture for the lbvet:ignore directive machinery.
+package ignores
+
+import "p2plb/internal/ident"
+
+// suppressed: a reasoned ignore on the preceding line covers this one.
+func suppressed(a, b ident.ID) bool {
+	//lbvet:ignore identcompare canonical total order, deliberately
+	return a < b
+}
+
+// notSuppressed: an ignore without a reason suppresses nothing and is
+// itself reported.
+func notSuppressed(a, b ident.ID) bool {
+	//lbvet:ignore identcompare
+	return a < b
+}

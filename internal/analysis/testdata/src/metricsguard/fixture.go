@@ -1,0 +1,59 @@
+// Fixture for the metricsguard analyzer.
+package metricsguard
+
+import (
+	"p2plb/internal/metrics"
+	"p2plb/internal/sim"
+)
+
+type server struct {
+	eng  *sim.Engine
+	hist *metrics.Histogram
+}
+
+// badUnguarded calls through a maybe-nil registry.
+func badUnguarded(eng *sim.Engine) {
+	eng.Metrics().Counter("x").Inc() // want "maybe-nil"
+}
+
+// badField uses a cached metric field without its populate guard.
+func (s *server) badField(v int64) {
+	s.hist.Observe(v) // want "maybe-nil"
+}
+
+// goodIf guards with an if-with-init nil check.
+func goodIf(eng *sim.Engine) {
+	if reg := eng.Metrics(); reg != nil {
+		reg.Counter("x").Inc()
+	}
+}
+
+// goodEarlyReturn bails before any metric call when detached.
+func goodEarlyReturn(eng *sim.Engine, v int64) {
+	reg := eng.Metrics()
+	if reg == nil {
+		return
+	}
+	reg.Histogram("h").Observe(v)
+}
+
+// goodCache is the populate-once field cache pattern.
+func (s *server) goodCache(v int64) {
+	if s.hist == nil {
+		reg := s.eng.Metrics()
+		if reg == nil {
+			return
+		}
+		s.hist = reg.Histogram("h")
+	}
+	s.hist.Observe(v)
+}
+
+// goodConstructed: constructor and get-or-create results are never
+// nil, so no guard is needed.
+func goodConstructed() {
+	reg := metrics.NewRegistry()
+	reg.Counter("x").Inc()
+	c := reg.Counter("y")
+	c.Inc()
+}

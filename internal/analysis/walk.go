@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// inspectStack walks the file like ast.Inspect but hands the visitor
+// the stack of ancestor nodes (outermost first, excluding n itself).
+// Returning false skips n's children.
+func inspectStack(f *ast.File, visit func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		descend := visit(n, stack)
+		if descend {
+			stack = append(stack, n)
+		}
+		return descend
+	})
+}
+
+// exprString renders an expression in source-ish form for messages and
+// for syntactic guard matching.
+func exprString(e ast.Expr) string { return types.ExprString(e) }
+
+// nilCheckOf searches cond for a binary comparison `X op nil` (either
+// operand order) and returns X, or nil when absent. The search recurses
+// through && and || and parentheses, so `X != nil && y` matches.
+func nilCheckOf(cond ast.Expr, op string, accept func(ast.Expr) bool) ast.Expr {
+	switch c := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch c.Op.String() {
+		case op:
+			if isNilIdent(c.Y) && accept(c.X) {
+				return c.X
+			}
+			if isNilIdent(c.X) && accept(c.Y) {
+				return c.Y
+			}
+		case "&&", "||":
+			if x := nilCheckOf(c.X, op, accept); x != nil {
+				return x
+			}
+			return nilCheckOf(c.Y, op, accept)
+		}
+	}
+	return nil
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// containsNode reports whether outer's subtree contains inner.
+func containsNode(outer, inner ast.Node) bool {
+	if outer == nil || inner == nil {
+		return false
+	}
+	return outer.Pos() <= inner.Pos() && inner.End() <= outer.End()
+}
+
+// enclosingFunc returns the innermost function declaration or literal
+// on the stack, or nil at package level.
+func enclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}

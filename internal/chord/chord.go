@@ -248,7 +248,8 @@ func (r *Ring) randomFreeID() ident.ID {
 
 func (r *Ring) addVS(n *Node, id ident.ID) *VServer {
 	vs := &VServer{ID: id, Owner: n}
-	pos := sort.Search(len(r.vss), func(i int) bool { return r.vss[i].ID >= id })
+	pos := sort.Search(len(r.vss), func(i int) bool { return r.vss[i].ID >= id }) //lbvet:ignore identcompare insertion point in the canonical ID-sorted ring array; wrap is a caller concern
+
 	r.vss = append(r.vss, nil)
 	copy(r.vss[pos+1:], r.vss[pos:])
 	r.vss[pos] = vs
@@ -335,7 +336,8 @@ func (r *Ring) Transfer(vs *VServer, to *Node) {
 
 // findVS returns the VS with exactly the given identifier.
 func (r *Ring) findVS(id ident.ID) (*VServer, bool) {
-	pos := sort.Search(len(r.vss), func(i int) bool { return r.vss[i].ID >= id })
+	pos := sort.Search(len(r.vss), func(i int) bool { return r.vss[i].ID >= id }) //lbvet:ignore identcompare exact-match binary search over the ID-sorted ring array
+
 	if pos < len(r.vss) && r.vss[pos].ID == id {
 		return r.vss[pos], true
 	}
@@ -349,7 +351,7 @@ func (r *Ring) Successor(key ident.ID) *VServer {
 	if len(r.vss) == 0 {
 		return nil
 	}
-	pos := sort.Search(len(r.vss), func(i int) bool { return r.vss[i].ID >= key })
+	pos := sort.Search(len(r.vss), func(i int) bool { return r.vss[i].ID >= key }) //lbvet:ignore identcompare binary search in the ID-sorted array; pos%len below is the wrap
 	return r.vss[pos%len(r.vss)]
 }
 
@@ -469,7 +471,7 @@ func (r *Ring) CheckInvariants() {
 		if vs.ringPos != i {
 			panic(fmt.Sprintf("chord: vs %s ringPos %d != %d", vs.ID, vs.ringPos, i))
 		}
-		if i > 0 && r.vss[i-1].ID >= vs.ID {
+		if i > 0 && r.vss[i-1].ID >= vs.ID { //lbvet:ignore identcompare asserts the canonical sorted-array invariant, a total-order property
 			panic(fmt.Sprintf("chord: ring out of order at %d", i))
 		}
 		if !vs.Owner.Alive {

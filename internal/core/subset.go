@@ -41,7 +41,7 @@ func chooseShedSubset(vss []*chord.VServer, excess float64, strategy SubsetStrat
 		if sorted[i].Load != sorted[j].Load {
 			return sorted[i].Load > sorted[j].Load
 		}
-		return sorted[i].ID < sorted[j].ID // deterministic tiebreak
+		return sorted[i].ID < sorted[j].ID //lbvet:ignore identcompare deterministic tiebreak wants a total order, not ring distance
 	})
 	switch strategy {
 	case SubsetExact:

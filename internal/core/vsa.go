@@ -50,7 +50,7 @@ func (v *vsaLists) sort() {
 		if v.offers[i].load != v.offers[j].load {
 			return v.offers[i].load < v.offers[j].load
 		}
-		return v.offers[i].vs.ID < v.offers[j].vs.ID
+		return v.offers[i].vs.ID < v.offers[j].vs.ID //lbvet:ignore identcompare deterministic tiebreak wants a total order, not ring distance
 	})
 }
 

@@ -264,7 +264,7 @@ func RunRound(ring *chord.Ring, tree *ktree.Tree, cfg core.Config, seed int64) (
 	pairs, left := SweepVSA(tree, vsaInbox, global.Lmin, cfg.RendezvousThreshold)
 	// The sink collects pairs in goroutine-completion order; sort them
 	// so the result (including float summation order) is reproducible.
-	sort.Slice(pairs, func(i, j int) bool { return pairs[i].VS.ID < pairs[j].VS.ID })
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].VS.ID < pairs[j].VS.ID }) //lbvet:ignore identcompare total-order sort for a reproducible result order
 	res.Assignments = pairs
 	res.UnassignedOffers = left.Offers()
 

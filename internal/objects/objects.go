@@ -63,7 +63,7 @@ func (s *Store) Insert(o Object) error {
 	if vs == nil {
 		return fmt.Errorf("objects: empty ring")
 	}
-	pos := sort.Search(len(s.objs), func(i int) bool { return s.objs[i].Key >= o.Key })
+	pos := sort.Search(len(s.objs), func(i int) bool { return s.objs[i].Key >= o.Key }) //lbvet:ignore identcompare insertion point in the canonical Key-sorted object array
 	s.objs = append(s.objs, Object{})
 	copy(s.objs[pos+1:], s.objs[pos:])
 	s.objs[pos] = o
@@ -108,7 +108,7 @@ func (s *Store) SyncLoads() {
 	// Object o belongs to the first VS with ID >= o.Key (wrapping).
 	i := 0
 	for _, o := range s.objs {
-		for i < len(vss) && vss[i].ID < o.Key {
+		for i < len(vss) && vss[i].ID < o.Key { //lbvet:ignore identcompare sorted-merge scan over two canonically sorted arrays; i==len wrap handled below
 			i++
 		}
 		if i == len(vss) {
@@ -152,7 +152,7 @@ func (s *Store) Populate(rng *rand.Rand, n int, loadFn func(*rand.Rand) float64)
 		}
 		s.objs = append(s.objs, Object{Key: ident.ID(rng.Uint32()), Load: load})
 	}
-	sort.Slice(s.objs, func(i, j int) bool { return s.objs[i].Key < s.objs[j].Key })
+	sort.Slice(s.objs, func(i, j int) bool { return s.objs[i].Key < s.objs[j].Key }) //lbvet:ignore identcompare canonical Key-sorted order for the object array
 	s.SyncLoads()
 	return nil
 }
