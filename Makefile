@@ -1,8 +1,10 @@
 # Convenience targets; `make check` is the tier-1 gate (see ROADMAP.md).
 # `make lint` runs the project static-analysis suite alone for fast
-# iteration on lbvet findings.
+# iteration on lbvet findings. `make bench` runs the scaling benchmark
+# (64k/256k/1M virtual servers) and refreshes BENCH_scale.json in the
+# repo root; see EXPERIMENTS.md "Scaling".
 
-.PHONY: check build test race fmt lint
+.PHONY: check build test race fmt lint bench
 
 check:
 	./ci.sh
@@ -21,3 +23,6 @@ fmt:
 
 lint:
 	go run ./cmd/lbvet
+
+bench:
+	go run ./cmd/lbbench -bench scale -out .

@@ -406,6 +406,70 @@ func BenchmarkBaselineRaoOneToMany(b *testing.B) { benchRao(b, rao.OneToMany) }
 // BenchmarkBaselineRaoManyToMany: global matching (scheme 3).
 func BenchmarkBaselineRaoManyToMany(b *testing.B) { benchRao(b, rao.ManyToMany) }
 
+// --- Ring maintenance scaling ---------------------------------------
+
+// buildBulkRing populates a fresh ring the way exp.Build does: bulk
+// insertion with Gnutella capacities drawn from the engine RNG.
+func buildBulkRing(seed int64, nodes, vsPerNode int) *chord.Ring {
+	eng := sim.NewEngine(seed)
+	ring := chord.NewRing(eng, chord.Config{})
+	profile := workload.GnutellaProfile()
+	ring.BulkAddNodes(nodes, vsPerNode,
+		func(int) topology.NodeID { return -1 },
+		func(int) float64 { return profile.Sample(eng.Rand()) })
+	return ring
+}
+
+// BenchmarkRingBuild100k pins the cost of populating a 100 000-VS ring
+// (20 000 nodes × 5 VSs each) with the bulk path exp.Build uses.
+func BenchmarkRingBuild100k(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if ring := buildBulkRing(int64(i)+1, 20_000, 5); ring.NumVServers() != 100_000 {
+			b.Fatalf("built %d VSs", ring.NumVServers())
+		}
+	}
+}
+
+// BenchmarkRingBuild200k is the acceptance benchmark for the O(log n)
+// ring-maintenance work: the seed implementation (eager ringPos suffix
+// rewrites on every insert) took ~42 s to populate 200 000 VSs; the
+// bulk path must stay at least 10× under that (it lands near 150 ms).
+func BenchmarkRingBuild200k(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if ring := buildBulkRing(int64(i)+1, 40_000, 5); ring.NumVServers() != 200_000 {
+			b.Fatalf("built %d VSs", ring.NumVServers())
+		}
+	}
+}
+
+// TestRingBuildSubQuadratic is the regression guard against the old
+// quadratic population: 4× the virtual servers (25k → 100k) must cost
+// well under the 16× a quadratic build would take. n log n predicts
+// ~4.7×; the bound of 12 leaves room for timer noise while still
+// failing instantly if the suffix rewrite ever comes back.
+func TestRingBuildSubQuadratic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based test")
+	}
+	small := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			buildBulkRing(int64(i)+1, 5_000, 5)
+		}
+	})
+	large := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			buildBulkRing(int64(i)+1, 20_000, 5)
+		}
+	})
+	ratio := float64(large.NsPerOp()) / float64(small.NsPerOp())
+	if ratio > 12 {
+		t.Errorf("100k/25k VS build cost ratio = %.1f (small %v, large %v); quadratic maintenance is back",
+			ratio, small.NsPerOp(), large.NsPerOp())
+	}
+}
+
 // BenchmarkDriftMaintenance runs the daemon over an object-backed
 // drifting workload (10% churn per round, 8 rounds) and reports the
 // steady-state imbalance containment.

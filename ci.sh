@@ -35,4 +35,12 @@ go test ./...
 echo "== go test -race (concurrent packages)"
 go test -race ./internal/livenet/ ./internal/par/ ./internal/sim/ ./internal/ktree/ ./internal/daemon/
 
+echo "== lbbench scale smoke (time-boxed)"
+# A small scale run keeps the O(log n) maintenance path honest without
+# the full 1M-VS sweep; the timeout catches accidental re-quadratization
+# (the 20k build takes ~10 ms — 120 s means something is badly wrong).
+tmp=$(mktemp -d)
+timeout 120 go run ./cmd/lbbench -bench scale -scalesizes 20000 -out "$tmp"
+rm -rf "$tmp"
+
 echo "ci: all checks passed"

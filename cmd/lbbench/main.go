@@ -30,19 +30,26 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
+	"p2plb/internal/chord"
+	"p2plb/internal/core"
 	"p2plb/internal/exp"
+	"p2plb/internal/ktree"
 	"p2plb/internal/metrics"
+	"p2plb/internal/sim"
 	"p2plb/internal/topology"
+	"p2plb/internal/workload"
 )
 
 type benchConfig struct {
-	Seed    int64   `json:"seed"`
-	Nodes   int     `json:"nodes"`
-	Graphs  int     `json:"graphs,omitempty"`
-	Epsilon float64 `json:"epsilon"`
+	Seed       int64   `json:"seed"`
+	Nodes      int     `json:"nodes"`
+	Graphs     int     `json:"graphs,omitempty"`
+	Epsilon    float64 `json:"epsilon"`
+	ScaleSizes []int   `json:"scale_sizes,omitempty"`
 }
 
 type benchReport struct {
@@ -56,26 +63,48 @@ type benchReport struct {
 
 func main() {
 	var (
-		out    = flag.String("out", ".", "directory for BENCH_<name>.json files")
-		seed   = flag.Int64("seed", 1, "base RNG seed")
-		nodes  = flag.Int("nodes", 4096, "number of DHT nodes")
-		graphs = flag.Int("graphs", 10, "topology instances for fig7")
-		bench  = flag.String("bench", "fig4,vsatime", "comma-separated benchmarks: fig4, fig7, vsatime")
+		out        = flag.String("out", ".", "directory for BENCH_<name>.json files")
+		seed       = flag.Int64("seed", 1, "base RNG seed")
+		nodes      = flag.Int("nodes", 4096, "number of DHT nodes")
+		graphs     = flag.Int("graphs", 10, "topology instances for fig7")
+		bench      = flag.String("bench", "fig4,vsatime", "comma-separated benchmarks: fig4, fig7, vsatime, scale")
+		scalesizes = flag.String("scalesizes", "64000,256000,1000000", "comma-separated virtual-server counts for the scale benchmark")
 	)
 	flag.Parse()
+	sizes, err := parseSizes(*scalesizes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbbench:", err)
+		os.Exit(1)
+	}
 	for _, name := range strings.Split(*bench, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
 			continue
 		}
-		if err := runBench(name, *out, *seed, *nodes, *graphs); err != nil {
+		if err := runBench(name, *out, *seed, *nodes, *graphs, sizes); err != nil {
 			fmt.Fprintln(os.Stderr, "lbbench:", err)
 			os.Exit(1)
 		}
 	}
 }
 
-func runBench(name, out string, seed int64, nodes, graphs int) error {
+func parseSizes(s string) ([]int, error) {
+	var sizes []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad scale size %q", f)
+		}
+		sizes = append(sizes, n)
+	}
+	return sizes, nil
+}
+
+func runBench(name, out string, seed int64, nodes, graphs int, scaleSizes []int) error {
 	reg := metrics.NewRegistry()
 	cfg := benchConfig{Seed: seed, Nodes: nodes, Epsilon: 0.05}
 	start := time.Now()
@@ -126,8 +155,15 @@ func runBench(name, out string, seed int64, nodes, graphs int) error {
 			return err
 		}
 		results = rows
+	case "scale":
+		cfg.ScaleSizes = scaleSizes
+		rows, err := runScale(seed, scaleSizes)
+		if err != nil {
+			return err
+		}
+		results = rows
 	default:
-		return fmt.Errorf("unknown benchmark %q (want fig4, fig7, vsatime)", name)
+		return fmt.Errorf("unknown benchmark %q (want fig4, fig7, vsatime, scale)", name)
 	}
 	wall := time.Since(start)
 
@@ -153,4 +189,89 @@ func runBench(name, out string, seed int64, nodes, graphs int) error {
 	}
 	fmt.Printf("lbbench: %s done in %d ms -> %s\n", name, report.WallMS, path)
 	return nil
+}
+
+// scaleRow is one system size of the scale benchmark: wall times for
+// the setup phases that used to be quadratic, plus one closed-form
+// balancing round where affordable.
+type scaleRow struct {
+	VServers int   `json:"vservers"`
+	Nodes    int   `json:"nodes"`
+	BuildMS  int64 `json:"ring_build_ms"`
+	LoadMS   int64 `json:"load_assign_ms"`
+	TreeMS   int64 `json:"tree_build_ms"`
+	// RoundMS is -1 when the balancing round is skipped (largest sizes:
+	// the round is super-linear in pair-list work and would dominate the
+	// maintenance numbers this benchmark pins).
+	RoundMS     int64 `json:"round_ms"`
+	HeavyBefore int   `json:"heavy_before,omitempty"`
+	HeavyAfter  int   `json:"heavy_after,omitempty"`
+	TreeNodes   int   `json:"tree_nodes"`
+	TreeHeight  int   `json:"tree_height"`
+}
+
+// maxRoundVSs caps the system size at which the scale benchmark also
+// runs a full balancing round.
+const maxRoundVSs = 256_000
+
+// runScale times ring population (the bulk path exp.Build uses), load
+// assignment, and K-nary tree construction at each requested
+// virtual-server count, with 5 VSs per node as everywhere in the paper.
+func runScale(seed int64, scaleSizes []int) ([]scaleRow, error) {
+	const vsPerNode = 5
+	profile := workload.GnutellaProfile()
+	var rows []scaleRow
+	for _, vsCount := range scaleSizes {
+		n := vsCount / vsPerNode
+		if n < 1 {
+			return nil, fmt.Errorf("scale size %d smaller than one node's %d VSs", vsCount, vsPerNode)
+		}
+		eng := sim.NewEngine(seed)
+		ring := chord.NewRing(eng, chord.Config{})
+		start := time.Now()
+		ring.BulkAddNodes(n, vsPerNode,
+			func(int) topology.NodeID { return -1 },
+			func(int) float64 { return profile.Sample(eng.Rand()) })
+		row := scaleRow{VServers: ring.NumVServers(), Nodes: n,
+			BuildMS: time.Since(start).Milliseconds(), RoundMS: -1}
+
+		mu := float64(n) * 100
+		model := workload.Gaussian{Mu: mu, Sigma: mu / 200}
+		start = time.Now()
+		for _, vs := range ring.VServers() {
+			vs.Load = model.Load(eng.Rand(), ring.RegionOf(vs).Fraction())
+		}
+		row.LoadMS = time.Since(start).Milliseconds()
+
+		start = time.Now()
+		tree, err := ktree.New(ring, 2)
+		if err != nil {
+			return nil, err
+		}
+		if err := tree.Build(); err != nil {
+			return nil, err
+		}
+		row.TreeMS = time.Since(start).Milliseconds()
+		row.TreeNodes = tree.NumNodes()
+		row.TreeHeight = tree.Height()
+
+		if vsCount <= maxRoundVSs {
+			bal, err := core.NewBalancer(ring, tree, core.Config{Epsilon: 0.05})
+			if err != nil {
+				return nil, err
+			}
+			start = time.Now()
+			res, err := bal.RunRound()
+			if err != nil {
+				return nil, err
+			}
+			row.RoundMS = time.Since(start).Milliseconds()
+			row.HeavyBefore = res.HeavyBefore
+			row.HeavyAfter = res.HeavyAfter
+		}
+		rows = append(rows, row)
+		fmt.Printf("lbbench: scale %d VSs: build %d ms, loads %d ms, tree %d ms (%d KT nodes), round %d ms\n",
+			row.VServers, row.BuildMS, row.LoadMS, row.TreeMS, row.TreeNodes, row.RoundMS)
+	}
+	return rows, nil
 }

@@ -37,7 +37,13 @@ type VServer struct {
 	Owner *Node   // hosting physical node; changes on transfer
 	Load  float64 // current load attributed to this VS's region
 
-	ringPos int // index in Ring.vss; maintained by the ring
+	// ringPos caches this VS's index in Ring.vss; it is only valid while
+	// posEpoch equals the ring's current epoch. Ring.pos revalidates a
+	// stale cache with a binary search on ID, so membership changes cost
+	// O(log n) amortized per affected VS instead of an eager O(n)
+	// suffix rewrite per insert/delete.
+	ringPos  int
+	posEpoch uint64
 }
 
 // Node is a physical DHT node.
@@ -112,11 +118,18 @@ func ConstantLatency(c sim.Time) LatencyFunc {
 }
 
 // TopologyLatency charges the underlay shortest-path distance between
-// the hosting nodes' positions.
+// the hosting nodes' positions. Every node on a topology-backed ring
+// must have a real underlay position: a negative Underlay (the "no
+// underlay" sentinel) would silently index garbage in the distance
+// cache, so it panics with a diagnosable message instead.
 func TopologyLatency(d *topology.Distances) LatencyFunc {
 	return func(a, b *Node) sim.Time {
 		if a == b || a.Underlay == b.Underlay {
 			return 0
+		}
+		if a.Underlay < 0 || b.Underlay < 0 {
+			panic(fmt.Sprintf("chord: TopologyLatency between nodes %d and %d with underlay positions %d and %d; every node on a topology-backed ring needs a real underlay position",
+				a.Index, b.Index, a.Underlay, b.Underlay))
 		}
 		return sim.Time(d.Between(a.Underlay, b.Underlay))
 	}
@@ -140,6 +153,12 @@ type Ring struct {
 	vss       []*VServer // alive virtual servers, sorted by ID
 	listeners []Listener
 
+	// epoch counts membership changes (VS insertions and removals). It
+	// starts at 1 and only grows, so a VServer whose posEpoch matches it
+	// is guaranteed to be on the ring with a correct ringPos; everything
+	// else revalidates lazily (see pos).
+	epoch uint64
+
 	// Cached lookup metrics (filled on first completed lookup once the
 	// engine carries a registry).
 	mLookupHops *metrics.Histogram
@@ -159,7 +178,7 @@ func NewRing(eng *sim.Engine, cfg Config) *Ring {
 	if cfg.MinHopLatency == 0 {
 		cfg.MinHopLatency = 1
 	}
-	return &Ring{eng: eng, cfg: cfg}
+	return &Ring{eng: eng, cfg: cfg, epoch: 1}
 }
 
 // Engine returns the simulation engine driving the ring.
@@ -237,30 +256,193 @@ func (r *Ring) AddNodeWithIDs(underlay topology.NodeID, capacity float64, ids []
 	return n, nil
 }
 
+// maxIDDraws bounds the rejection sampling for a free identifier. Past
+// it the space is dense enough that scanning for the first free gap is
+// cheaper (and guaranteed to terminate) — rejection sampling alone
+// spins unboundedly as the space saturates.
+const maxIDDraws = 64
+
 func (r *Ring) randomFreeID() ident.ID {
-	for {
+	if uint64(len(r.vss)) >= ident.SpaceSize {
+		panic("chord: identifier space exhausted")
+	}
+	for i := 0; i < maxIDDraws; i++ {
 		id := ident.ID(r.eng.Rand().Uint32())
 		if _, ok := r.findVS(id); !ok {
 			return id
 		}
 	}
+	// Near saturation: one more draw picks a random start, the scan
+	// takes the first free identifier clockwise from it.
+	return r.firstFreeFrom(ident.ID(r.eng.Rand().Uint32()))
+}
+
+// firstFreeFrom returns the first identifier at or clockwise after
+// start that no virtual server holds. The caller guarantees the space
+// is not exhausted.
+func (r *Ring) firstFreeFrom(start ident.ID) ident.ID {
+	n := len(r.vss)
+	if n == 0 {
+		return start
+	}
+	pos := r.searchID(start)
+	cand := start
+	// Walk the occupied identifiers clockwise from start; the first one
+	// that does not match the running candidate leaves a gap.
+	for i := 0; i < n; i++ {
+		if r.vss[(pos+i)%n].ID != cand {
+			return cand
+		}
+		cand = cand.Add(1)
+	}
+	return cand
+}
+
+// searchID returns the index of the first VS with identifier >= id
+// (len(r.vss) if none), the shared binary search under every positional
+// operation.
+func (r *Ring) searchID(id ident.ID) int {
+	return sort.Search(len(r.vss), func(i int) bool { return r.vss[i].ID >= id }) //lbvet:ignore identcompare binary search over the canonical ID-sorted ring array; wrap is a caller concern
+}
+
+// pos returns vs's index in the ID-sorted array, revalidating a stale
+// cache with a binary search. It panics if vs is not on the ring —
+// positional queries on departed virtual servers are caller bugs.
+func (r *Ring) pos(vs *VServer) int {
+	if vs.posEpoch == r.epoch {
+		return vs.ringPos
+	}
+	p := r.searchID(vs.ID)
+	if p >= len(r.vss) || r.vss[p] != vs {
+		panic(fmt.Sprintf("chord: position query for VS %s which is not on the ring", vs.ID))
+	}
+	vs.ringPos = p
+	vs.posEpoch = r.epoch
+	return p
+}
+
+// onRing reports whether vs is currently a ring member, refreshing its
+// position cache when it is. In-flight messages use it to notice that a
+// hop target departed while the message was travelling.
+func (r *Ring) onRing(vs *VServer) bool {
+	if vs.posEpoch == r.epoch {
+		return true
+	}
+	p := r.searchID(vs.ID)
+	if p >= len(r.vss) || r.vss[p] != vs {
+		return false
+	}
+	vs.ringPos = p
+	vs.posEpoch = r.epoch
+	return true
 }
 
 func (r *Ring) addVS(n *Node, id ident.ID) *VServer {
 	vs := &VServer{ID: id, Owner: n}
-	pos := sort.Search(len(r.vss), func(i int) bool { return r.vss[i].ID >= id }) //lbvet:ignore identcompare insertion point in the canonical ID-sorted ring array; wrap is a caller concern
-
+	pos := r.searchID(id)
 	r.vss = append(r.vss, nil)
 	copy(r.vss[pos+1:], r.vss[pos:])
 	r.vss[pos] = vs
-	for i := pos; i < len(r.vss); i++ {
-		r.vss[i].ringPos = i
-	}
+	r.epoch++
+	vs.ringPos = pos
+	vs.posEpoch = r.epoch
 	n.vservers = append(n.vservers, vs)
 	for _, l := range r.listeners {
 		l.VSAdded(vs)
 	}
 	return vs
+}
+
+// BulkAddNodes creates count physical nodes, each hosting numVS virtual
+// servers with identifiers drawn from the engine RNG, and joins them to
+// the ring with a single sorted merge — O(m log m + n) for m new VSs
+// over n existing ones, against O(n·m) for the incremental AddNode
+// loop. The underlay and capacity callbacks are invoked once per node
+// in index order; capacity draws and identifier draws interleave in
+// exactly the order the equivalent AddNode loop consumes the engine
+// RNG, so a bulk-built ring is identical to an incrementally built one
+// at the same seed.
+func (r *Ring) BulkAddNodes(count, numVS int, underlay func(i int) topology.NodeID, capacity func(i int) float64) []*Node {
+	used := make(map[ident.ID]struct{}, len(r.vss)+count*numVS)
+	for _, vs := range r.vss {
+		used[vs.ID] = struct{}{}
+	}
+	nodes := make([]*Node, 0, count)
+	fresh := make([]*VServer, 0, count*numVS) // draw order
+	for i := 0; i < count; i++ {
+		u := underlay(i)
+		c := capacity(i)
+		n := &Node{
+			Index:    len(r.nodes),
+			Underlay: u,
+			Capacity: c,
+			Alive:    true,
+		}
+		r.nodes = append(r.nodes, n)
+		nodes = append(nodes, n)
+		for v := 0; v < numVS; v++ {
+			vs := &VServer{ID: r.drawFreeID(used), Owner: n}
+			used[vs.ID] = struct{}{}
+			n.vservers = append(n.vservers, vs)
+			fresh = append(fresh, vs)
+		}
+	}
+	if len(fresh) == 0 {
+		return nodes
+	}
+	sorted := append([]*VServer(nil), fresh...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID }) //lbvet:ignore identcompare canonical sorted order of the ring array, not ring distance
+
+	merged := make([]*VServer, 0, len(r.vss)+len(sorted))
+	i, j := 0, 0
+	for i < len(r.vss) && j < len(sorted) {
+		if r.vss[i].ID < sorted[j].ID { //lbvet:ignore identcompare sorted-merge order of the canonical ring array
+			merged = append(merged, r.vss[i])
+			i++
+		} else {
+			merged = append(merged, sorted[j])
+			j++
+		}
+	}
+	merged = append(merged, r.vss[i:]...)
+	merged = append(merged, sorted[j:]...)
+	r.vss = merged
+	r.epoch++
+	for p, vs := range r.vss {
+		vs.ringPos = p
+		vs.posEpoch = r.epoch
+	}
+	// Listeners observe the same joins the incremental path would fire,
+	// in draw order, each against the fully merged ring.
+	for _, vs := range fresh {
+		for _, l := range r.listeners {
+			l.VSAdded(vs)
+		}
+	}
+	return nodes
+}
+
+// drawFreeID is randomFreeID against a pending-membership set: bulk
+// population checks candidate identifiers against both the ring and the
+// batch being built, consuming the engine RNG in the same accept/reject
+// sequence the incremental path would.
+func (r *Ring) drawFreeID(used map[ident.ID]struct{}) ident.ID {
+	if uint64(len(used)) >= ident.SpaceSize {
+		panic("chord: identifier space exhausted")
+	}
+	for i := 0; i < maxIDDraws; i++ {
+		id := ident.ID(r.eng.Rand().Uint32())
+		if _, ok := used[id]; !ok {
+			return id
+		}
+	}
+	cand := ident.ID(r.eng.Rand().Uint32())
+	for {
+		if _, ok := used[cand]; !ok {
+			return cand
+		}
+		cand = cand.Add(1)
+	}
 }
 
 // RemoveNode removes a physical node from the system (leave or crash).
@@ -280,14 +462,10 @@ func (r *Ring) RemoveNode(n *Node) {
 }
 
 func (r *Ring) removeVS(vs *VServer) {
-	pos := vs.ringPos
-	if pos >= len(r.vss) || r.vss[pos] != vs {
-		panic("chord: corrupted ring position")
-	}
+	pos := r.pos(vs)
 	r.vss = append(r.vss[:pos], r.vss[pos+1:]...)
-	for i := pos; i < len(r.vss); i++ {
-		r.vss[i].ringPos = i
-	}
+	r.epoch++
+	vs.posEpoch = 0 // departed: every future pos query must fail
 	// The successor absorbs the departed region's load.
 	if len(r.vss) > 0 && vs.Load > 0 {
 		succ := r.vss[pos%len(r.vss)]
@@ -358,7 +536,7 @@ func (r *Ring) Successor(key ident.ID) *VServer {
 // Predecessor returns the virtual server immediately counterclockwise of
 // vs on the ring (itself if it is alone).
 func (r *Ring) Predecessor(vs *VServer) *VServer {
-	return r.vss[(vs.ringPos+len(r.vss)-1)%len(r.vss)]
+	return r.vss[(r.pos(vs)+len(r.vss)-1)%len(r.vss)]
 }
 
 // RegionOf returns the arc of the identifier space owned by vs:
@@ -373,7 +551,7 @@ func (r *Ring) RegionOf(vs *VServer) ident.Region {
 // ring: finger k of cur is Successor(cur.ID + 2^k).
 func (r *Ring) closestPreceding(cur *VServer, key ident.ID) *VServer {
 	// If key is in (cur, successor(cur)], routing terminates.
-	succ := r.vss[(cur.ringPos+1)%len(r.vss)]
+	succ := r.vss[(r.pos(cur)+1)%len(r.vss)]
 	if key.Between(cur.ID, succ.ID) {
 		return nil
 	}
@@ -420,10 +598,17 @@ func (r *Ring) Lookup(from *Node, key ident.ID, cb func(LookupResult)) {
 func (r *Ring) lookupStep(origin *Node, cur *VServer, key ident.ID, hops int, cost sim.Time, cb func(LookupResult)) {
 	next := r.closestPreceding(cur, key)
 	if next == nil {
-		succ := r.vss[(cur.ringPos+1)%len(r.vss)]
+		succ := r.vss[(r.pos(cur)+1)%len(r.vss)]
 		hop := r.cfg.Latency(cur.Owner, succ.Owner) + r.cfg.MinHopLatency
 		r.eng.CountMessage(MsgLookupHop, hop)
 		r.eng.Schedule(hop, func() {
+			// The owner may have left while the final hop was in flight;
+			// re-route to the then-current owner instead of delivering a
+			// departed VS.
+			if !r.onRing(succ) {
+				r.lookupStep(origin, r.Successor(key), key, hops+1, cost+hop, cb)
+				return
+			}
 			r.observeLookup(hops+1, cost+hop)
 			cb(LookupResult{VS: succ, Hops: hops + 1, Cost: cost + hop})
 		})
@@ -434,7 +619,7 @@ func (r *Ring) lookupStep(origin *Node, cur *VServer, key ident.ID, hops int, co
 	r.eng.Schedule(hop, func() {
 		// Membership may have changed while the message was in flight;
 		// restart from the ring's current view if next left the ring.
-		if next.ringPos >= len(r.vss) || r.vss[next.ringPos] != next {
+		if !r.onRing(next) {
 			r.lookupStep(origin, r.Successor(key), key, hops+1, cost+hop, cb)
 			return
 		}
@@ -468,8 +653,14 @@ func (r *Ring) LookupSync(key ident.ID) *VServer { return r.Successor(key) }
 func (r *Ring) CheckInvariants() {
 	var total uint64
 	for i, vs := range r.vss {
-		if vs.ringPos != i {
-			panic(fmt.Sprintf("chord: vs %s ringPos %d != %d", vs.ID, vs.ringPos, i))
+		if vs.posEpoch == r.epoch && vs.ringPos != i {
+			panic(fmt.Sprintf("chord: vs %s caches current-epoch ringPos %d != %d", vs.ID, vs.ringPos, i))
+		}
+		if vs.posEpoch > r.epoch {
+			panic(fmt.Sprintf("chord: vs %s posEpoch %d ahead of ring epoch %d", vs.ID, vs.posEpoch, r.epoch))
+		}
+		if p := r.pos(vs); p != i {
+			panic(fmt.Sprintf("chord: vs %s resolves to position %d != %d", vs.ID, p, i))
 		}
 		if i > 0 && r.vss[i-1].ID >= vs.ID { //lbvet:ignore identcompare asserts the canonical sorted-array invariant, a total-order property
 			panic(fmt.Sprintf("chord: ring out of order at %d", i))

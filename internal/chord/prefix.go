@@ -118,7 +118,7 @@ func (r *Ring) prefixStep(cur *VServer, key ident.ID, hops int, cost sim.Time, c
 	r.eng.CountMessage(MsgPrefixHop, hop)
 	r.eng.Schedule(hop, func() {
 		// Restart from the current view if next left the ring mid-hop.
-		if next.ringPos >= len(r.vss) || r.vss[next.ringPos] != next {
+		if !r.onRing(next) {
 			r.prefixStep(r.Successor(key), key, hops+1, cost+hop, cb)
 			return
 		}

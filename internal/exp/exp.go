@@ -163,13 +163,18 @@ func Build(s Setup) (*Instance, error) {
 	}
 
 	inst.Ring = chord.NewRing(inst.Engine, ringCfg)
-	for i := 0; i < s.Nodes; i++ {
-		u := topology.NodeID(-1)
-		if underlays != nil {
-			u = underlays[i]
-		}
-		inst.Ring.AddNode(u, s.Profile.Sample(inst.Engine.Rand()), s.VSPerNode)
-	}
+	// Bulk population sorts the VS identifiers once instead of paying an
+	// incremental insert per node; the RNG draw order (capacity, then
+	// identifiers, per node) matches the AddNode loop exactly, so runs
+	// stay byte-identical across both paths at the same seed.
+	inst.Ring.BulkAddNodes(s.Nodes, s.VSPerNode,
+		func(i int) topology.NodeID {
+			if underlays != nil {
+				return underlays[i]
+			}
+			return -1
+		},
+		func(i int) float64 { return s.Profile.Sample(inst.Engine.Rand()) })
 
 	var model workload.LoadModel
 	if s.Pareto {

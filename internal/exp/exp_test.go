@@ -304,3 +304,28 @@ func TestChurnSensitivityValidation(t *testing.T) {
 		t.Error("negative churn rate should fail")
 	}
 }
+
+// TestChurnOnTopology is the regression test for the churn/underlay
+// latency bug: on a topology-backed instance (ts5k-small), joiners used
+// to arrive with the -1 "no underlay" sentinel, and the first latency
+// query involving one read Distances.Between(-1, ...). Joiners now take
+// real stub positions, so the churn sweep must complete without panics.
+func TestChurnOnTopology(t *testing.T) {
+	s := DefaultSetup(40)
+	s.Nodes = 96
+	tp := topology.TS5kSmall(40)
+	s.Topology = &tp
+	rows, err := ChurnSensitivitySetup(s, []int{3}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[0].Failed > 0 {
+		t.Errorf("%d rounds failed under topology-backed churn", rows[0].Failed)
+	}
+	if rows[0].Rounds < 2 {
+		t.Errorf("only %d rounds ran", rows[0].Rounds)
+	}
+}

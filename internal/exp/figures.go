@@ -194,34 +194,40 @@ type PhaseTimes struct {
 
 // VSATimes measures phase completion times for the given tree degrees
 // and system sizes under the default Gaussian workload. A non-nil
-// registry is shared by every run.
+// registry is shared by every run. The (K, size) cells run in parallel;
+// each builds its own engine from the seed, so every row is identical
+// to what the sequential sweep produced and rows keep the ks-major,
+// sizes-minor order.
 func VSATimes(ks []int, sizes []int, seed int64, reg *metrics.Registry) ([]PhaseTimes, error) {
-	var rows []PhaseTimes
+	type cell struct{ k, n int }
+	var cells []cell
 	for _, k := range ks {
 		for _, n := range sizes {
-			s := DefaultSetup(seed)
-			s.Nodes = n
-			s.K = k
-			s.Metrics = reg
-			inst, err := Build(s)
-			if err != nil {
-				return nil, err
-			}
-			res, err := inst.Balancer.RunRound()
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, PhaseTimes{
-				K:          k,
-				Nodes:      n,
-				VServers:   n * s.VSPerNode,
-				TreeHeight: res.TreeHeight,
-				LBIUp:      int64(res.TimeLBIAggregate),
-				LBIDown:    int64(res.TimeLBIDisseminate),
-				VSADone:    int64(res.TimeVSAComplete),
-				VSTDone:    int64(res.TimeVSTComplete),
-			})
+			cells = append(cells, cell{k, n})
 		}
 	}
-	return rows, nil
+	return par.MapErr(cells, 0, func(c cell) (PhaseTimes, error) {
+		s := DefaultSetup(seed)
+		s.Nodes = c.n
+		s.K = c.k
+		s.Metrics = reg
+		inst, err := Build(s)
+		if err != nil {
+			return PhaseTimes{}, err
+		}
+		res, err := inst.Balancer.RunRound()
+		if err != nil {
+			return PhaseTimes{}, err
+		}
+		return PhaseTimes{
+			K:          c.k,
+			Nodes:      c.n,
+			VServers:   c.n * s.VSPerNode,
+			TreeHeight: res.TreeHeight,
+			LBIUp:      int64(res.TimeLBIAggregate),
+			LBIDown:    int64(res.TimeLBIDisseminate),
+			VSADone:    int64(res.TimeVSAComplete),
+			VSTDone:    int64(res.TimeVSTComplete),
+		}, nil
+	})
 }

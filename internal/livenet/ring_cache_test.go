@@ -1,0 +1,76 @@
+package livenet
+
+import (
+	"testing"
+
+	"p2plb/internal/core"
+	"p2plb/internal/ktree"
+	"p2plb/internal/workload"
+)
+
+// TestLazyRingCacheUnderLiveRounds drives mixed add/remove/transfer
+// sequences against the ring between real in-process rounds. Each batch
+// of mutations invalidates the epoch-tagged position cache; the
+// CheckInvariants call then asserts every lazily revalidated position
+// agrees with the array index, and RunRound exercises the concurrent
+// classification and sweep over the same ring — so under -race this
+// also pins that the parallel round never writes the cache.
+func TestLazyRingCacheUnderLiveRounds(t *testing.T) {
+	ring, tree := fixture(21, 96, 4)
+	rng := ring.Engine().Rand()
+	profile := workload.GnutellaProfile()
+	cfg := core.Config{Epsilon: 0.05}
+
+	for round := 0; round < 6; round++ {
+		for i := 0; i < 4; i++ {
+			ring.AddNode(-1, profile.Sample(rng), 4)
+		}
+		alive := ring.AliveNodes()
+		for i := 0; i < 4 && len(alive) > 16; i++ {
+			j := rng.Intn(len(alive))
+			ring.RemoveNode(alive[j])
+			alive[j] = alive[len(alive)-1]
+			alive = alive[:len(alive)-1]
+		}
+		for i := 0; i < 4; i++ {
+			from := alive[rng.Intn(len(alive))]
+			to := alive[rng.Intn(len(alive))]
+			if vs := from.RandomVS(rng); vs != nil {
+				ring.Transfer(vs, to)
+			}
+		}
+		// Every position read below goes through a stale cache first.
+		ring.CheckInvariants()
+		for _, vs := range ring.VServers() {
+			if !ring.RegionOf(vs).Contains(vs.ID) {
+				t.Fatalf("round %d: region of %s does not contain its ID", round, vs.ID)
+			}
+		}
+
+		// Membership changed, so rebuild the tree and re-derive loads
+		// from the new regions, then run a full concurrent round.
+		mu := float64(len(alive)) * 100
+		model := workload.Gaussian{Mu: mu, Sigma: mu / 400}
+		for _, vs := range ring.VServers() {
+			vs.Load = model.Load(rng, ring.RegionOf(vs).Fraction())
+		}
+		var err error
+		tree, err = ktree.New(ring, 2)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if err := tree.Build(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		res, err := RunRound(ring, tree, cfg, int64(100+round))
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if res.HeavyAfter > res.HeavyBefore {
+			t.Fatalf("round %d: round made things worse (%d -> %d heavy)",
+				round, res.HeavyBefore, res.HeavyAfter)
+		}
+		ring.CheckInvariants()
+		tree.CheckInvariants()
+	}
+}

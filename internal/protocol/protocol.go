@@ -77,6 +77,49 @@ type Runner struct {
 	eng  *sim.Engine
 
 	roundActive bool
+	scratch     *roundScratch
+}
+
+// roundScratch holds the per-round maps (and the report slices inside
+// lbiInbox) that steady-state drivers — the daemon, churn sweeps —
+// would otherwise reallocate every round. A round hands its scratch
+// back only when it finished clean: after a timeout or an aborted
+// transfer, stale epoch events may still read the maps (and a late VSA
+// reply can even mutate its PairList), so such rounds drop the scratch
+// instead of recycling it.
+type roundScratch struct {
+	lbiInbox map[*ktree.Node][]core.LBI
+	states   map[*chord.Node]*core.NodeState
+	vsaInbox map[*ktree.Node]*core.PairList
+	leafOfVS map[*chord.VServer]*ktree.Node
+}
+
+// takeScratch returns a cleared scratch for the next round, reusing the
+// previous round's maps when available.
+func (r *Runner) takeScratch() *roundScratch {
+	sc := r.scratch
+	r.scratch = nil
+	if sc == nil {
+		return &roundScratch{
+			lbiInbox: make(map[*ktree.Node][]core.LBI),
+			states:   make(map[*chord.Node]*core.NodeState),
+			vsaInbox: make(map[*ktree.Node]*core.PairList),
+			leafOfVS: make(map[*chord.VServer]*ktree.Node),
+		}
+	}
+	// Tree repair retires KT nodes between rounds; once dead keys
+	// clearly dominate, a fresh map beats dragging their buckets along.
+	if len(sc.lbiInbox) > 2*r.tree.NumNodes()+16 {
+		sc.lbiInbox = make(map[*ktree.Node][]core.LBI)
+	} else {
+		for k, v := range sc.lbiInbox {
+			sc.lbiInbox[k] = v[:0]
+		}
+	}
+	clear(sc.states)
+	clear(sc.vsaInbox)
+	clear(sc.leafOfVS)
+	return sc
 }
 
 // NewRunner returns a Runner. The tree must belong to the ring.
@@ -157,14 +200,15 @@ func (r *Runner) StartRound(done func(*Result, error)) error {
 	if timeout == 0 {
 		timeout = defaultChildTimeout
 	}
+	sc := r.takeScratch()
 	rd := &round{
 		r:        r,
 		timeout:  timeout,
 		start:    r.eng.Now(),
-		lbiInbox: make(map[*ktree.Node][]core.LBI),
-		states:   make(map[*chord.Node]*core.NodeState),
-		vsaInbox: make(map[*ktree.Node]*core.PairList),
-		leafOfVS: make(map[*chord.VServer]*ktree.Node),
+		lbiInbox: sc.lbiInbox,
+		states:   sc.states,
+		vsaInbox: sc.vsaInbox,
+		leafOfVS: sc.leafOfVS,
 		res: &Result{Result: core.Result{
 			Mode:        r.cfg.Core.Mode,
 			MovedByHops: &stats.WeightedHistogram{},
@@ -172,6 +216,9 @@ func (r *Runner) StartRound(done func(*Result, error)) error {
 		}},
 		finish: func(res *Result, err error) {
 			r.roundActive = false
+			if err == nil && res.TimedOutChildren == 0 && res.AbortedTransfers == 0 {
+				r.scratch = sc
+			}
 			r.recordRound(res, err)
 			done(res, err)
 		},
