@@ -1,8 +1,9 @@
 # Convenience targets; `make check` is the tier-1 gate (see ROADMAP.md).
 # `make lint` runs the project static-analysis suite alone for fast
 # iteration on lbvet findings. `make bench` runs the scaling benchmark
-# (64k/256k/1M virtual servers) and refreshes BENCH_scale.json in the
-# repo root; see EXPERIMENTS.md "Scaling".
+# (64k/256k/1M virtual servers) and the fault-tolerance sweep, and
+# refreshes BENCH_scale.json and BENCH_faults.json in the repo root;
+# see EXPERIMENTS.md "Scaling" and "Fault tolerance".
 
 .PHONY: check build test race fmt lint bench
 
@@ -16,7 +17,7 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/livenet/ ./internal/par/ ./internal/sim/ ./internal/ktree/ ./internal/daemon/
+	go test -race ./internal/livenet/ ./internal/par/ ./internal/sim/ ./internal/ktree/ ./internal/daemon/ ./internal/faults/
 
 fmt:
 	gofmt -s -w .
@@ -25,4 +26,4 @@ lint:
 	go run ./cmd/lbvet
 
 bench:
-	go run ./cmd/lbbench -bench scale -out .
+	go run ./cmd/lbbench -bench scale,faults -out .

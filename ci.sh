@@ -7,8 +7,9 @@
 # nondeterminism, identcompare, metricsguard — see DESIGN.md "Enforced
 # invariants"). The race pass covers the packages that exercise real
 # concurrency (livenet's goroutine-per-KT-node rounds, par's worker
-# pools, sim's engine contract, ktree's and daemon's goroutine-spawning
-# tests); the rest of the tree is single-goroutine by design.
+# pools, sim's engine contract, ktree's, daemon's and faults'
+# goroutine-spawning tests); the rest of the tree is single-goroutine
+# by design.
 set -eu
 cd "$(dirname "$0")"
 
@@ -33,7 +34,7 @@ echo "== go test"
 go test ./...
 
 echo "== go test -race (concurrent packages)"
-go test -race ./internal/livenet/ ./internal/par/ ./internal/sim/ ./internal/ktree/ ./internal/daemon/
+go test -race ./internal/livenet/ ./internal/par/ ./internal/sim/ ./internal/ktree/ ./internal/daemon/ ./internal/faults/
 
 echo "== lbbench scale smoke (time-boxed)"
 # A small scale run keeps the O(log n) maintenance path honest without
@@ -42,5 +43,23 @@ echo "== lbbench scale smoke (time-boxed)"
 tmp=$(mktemp -d)
 timeout 120 go run ./cmd/lbbench -bench scale -scalesizes 20000 -out "$tmp"
 rm -rf "$tmp"
+
+echo "== lbbench fault smoke (time-boxed, determinism-diffed)"
+# A small drop-rate sweep plus partition recovery, run twice at the same
+# seed: the reports must match byte-for-byte once the two wall-clock
+# fields are stripped. This gates the fault path's (seed, plan)
+# determinism, not just its correctness.
+tmp1=$(mktemp -d)
+tmp2=$(mktemp -d)
+timeout 120 go run ./cmd/lbbench -bench faults -nodes 128 -out "$tmp1"
+timeout 120 go run ./cmd/lbbench -bench faults -nodes 128 -out "$tmp2"
+grep -v '"unix_time"\|"wall_ms"' "$tmp1/BENCH_faults.json" > "$tmp1/stripped"
+grep -v '"unix_time"\|"wall_ms"' "$tmp2/BENCH_faults.json" > "$tmp2/stripped"
+if ! diff "$tmp1/stripped" "$tmp2/stripped"; then
+	echo "fault sweep is nondeterministic across identical runs" >&2
+	rm -rf "$tmp1" "$tmp2"
+	exit 1
+fi
+rm -rf "$tmp1" "$tmp2"
 
 echo "ci: all checks passed"

@@ -45,11 +45,12 @@ import (
 )
 
 type benchConfig struct {
-	Seed       int64   `json:"seed"`
-	Nodes      int     `json:"nodes"`
-	Graphs     int     `json:"graphs,omitempty"`
-	Epsilon    float64 `json:"epsilon"`
-	ScaleSizes []int   `json:"scale_sizes,omitempty"`
+	Seed       int64     `json:"seed"`
+	Nodes      int       `json:"nodes"`
+	Graphs     int       `json:"graphs,omitempty"`
+	Epsilon    float64   `json:"epsilon"`
+	ScaleSizes []int     `json:"scale_sizes,omitempty"`
+	DropRates  []float64 `json:"drop_rates,omitempty"`
 }
 
 type benchReport struct {
@@ -67,7 +68,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "base RNG seed")
 		nodes      = flag.Int("nodes", 4096, "number of DHT nodes")
 		graphs     = flag.Int("graphs", 10, "topology instances for fig7")
-		bench      = flag.String("bench", "fig4,vsatime", "comma-separated benchmarks: fig4, fig7, vsatime, scale")
+		bench      = flag.String("bench", "fig4,vsatime", "comma-separated benchmarks: fig4, fig7, vsatime, scale, faults")
 		scalesizes = flag.String("scalesizes", "64000,256000,1000000", "comma-separated virtual-server counts for the scale benchmark")
 	)
 	flag.Parse()
@@ -162,8 +163,29 @@ func runBench(name, out string, seed int64, nodes, graphs int, scaleSizes []int)
 			return err
 		}
 		results = rows
+	case "faults":
+		// Message-level rounds with retransmission: cap the system size
+		// so the sweep stays time-boxed (ci.sh runs it twice to pin
+		// determinism).
+		if nodes > 512 {
+			nodes = 512
+		}
+		cfg.Nodes = nodes
+		cfg.DropRates = faultRates
+		rows, err := exp.FaultSweep(seed, nodes, faultRates, 6)
+		if err != nil {
+			return err
+		}
+		part, err := exp.PartitionRecovery(seed, nodes, 2, 6)
+		if err != nil {
+			return err
+		}
+		results = map[string]interface{}{
+			"drop_sweep":         rows,
+			"partition_recovery": part,
+		}
 	default:
-		return fmt.Errorf("unknown benchmark %q (want fig4, fig7, vsatime, scale)", name)
+		return fmt.Errorf("unknown benchmark %q (want fig4, fig7, vsatime, scale, faults)", name)
 	}
 	wall := time.Since(start)
 
@@ -190,6 +212,10 @@ func runBench(name, out string, seed int64, nodes, graphs int, scaleSizes []int)
 	fmt.Printf("lbbench: %s done in %d ms -> %s\n", name, report.WallMS, path)
 	return nil
 }
+
+// faultRates is the drop-rate grid of the faults benchmark, matching
+// `lbsim -fig faults`.
+var faultRates = []float64{0, 0.05, 0.10, 0.20, 0.30}
 
 // scaleRow is one system size of the scale benchmark: wall times for
 // the setup phases that used to be quadratic, plus one closed-form

@@ -11,6 +11,7 @@
 //	lbsim -fig cfs        # CFS-style shedding baseline (load thrashing)
 //	lbsim -fig rao        # Rao et al. schemes vs the tree scheme
 //	lbsim -fig churn      # robustness vs membership churn rate
+//	lbsim -fig faults     # graceful degradation under message loss + partition recovery
 //
 // Common flags: -seed, -nodes, -graphs (figs 7/8), -eps, -csv FILE.
 // Observability: -metrics FILE dumps a metrics snapshot (JSON, or CSV
@@ -42,7 +43,7 @@ import (
 
 func main() {
 	var (
-		fig        = flag.String("fig", "", "figure to regenerate: 4, 5, 6, 7, 8, vsatime, cfs, rao, churn")
+		fig        = flag.String("fig", "", "figure to regenerate: 4, 5, 6, 7, 8, vsatime, cfs, rao, churn, faults")
 		seed       = flag.Int64("seed", 1, "base RNG seed")
 		nodes      = flag.Int("nodes", 4096, "number of DHT nodes")
 		graphs     = flag.Int("graphs", 10, "topology instances for figs 7/8 (paper: 10)")
@@ -117,6 +118,8 @@ func run(fig string, seed int64, nodes, graphs int, eps float64, csvOut string, 
 		return raoComparison(seed, nodes, eps)
 	case "churn":
 		return churnSensitivity(seed, nodes)
+	case "faults":
+		return faultTolerance(seed, nodes)
 	default:
 		return fmt.Errorf("unknown figure %q", fig)
 	}
@@ -407,6 +410,48 @@ func churnSensitivity(seed int64, nodes int) error {
 	w.Flush()
 	fmt.Println("  (steady-state means, first round excluded; churn replaces that many")
 	fmt.Println("   random nodes before every round)")
+	return nil
+}
+
+// faultSweepRates is the drop-rate grid both lbsim and lbbench run.
+var faultSweepRates = []float64{0, 0.05, 0.10, 0.20, 0.30}
+
+// faultTolerance reports graceful degradation under uniform message
+// loss, then partition recovery — the fault-injection experiment.
+func faultTolerance(seed int64, nodes int) error {
+	if nodes > 512 {
+		nodes = 512 // message-level rounds with retransmission; keep tractable
+	}
+	const rounds = 6
+	fmt.Printf("Fault tolerance — %d message-level rounds per drop rate, N=%d\n", rounds, nodes)
+	rows, err := exp.FaultSweep(seed, nodes, faultSweepRates, rounds)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "  drop\trounds\tcompleted\tfailed\tretries\ttimed-out epochs\taborted VSTs\tdropped msgs\tmean round time\tfinal gini")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %.0f%%\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.0f\t%.4f\n",
+			100*r.DropRate, r.Rounds, r.Completed, r.Failed, r.Retries,
+			r.TimedOutChildren, r.AbortedTransfers, r.Dropped, r.MeanRoundTime, r.FinalGini)
+	}
+	w.Flush()
+	fmt.Println("  (acks + bounded retries keep imbalance near fault-free levels;")
+	fmt.Println("   round time grows with the retransmission work)")
+
+	p, err := exp.PartitionRecovery(seed, nodes, 2, 6)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Partition recovery — half the ring cut before balancing, N=%d\n", p.Nodes)
+	fmt.Printf("  baseline gini %.4f; after %d partitioned rounds (%d failed): gini %.4f\n",
+		p.BaselineGini, p.PartitionRounds, p.FailedDuring, p.GiniAtHeal)
+	if p.RoundsToRecover < 0 {
+		fmt.Println("  did NOT recover within the round budget after healing")
+	} else {
+		fmt.Printf("  healed: recovered to gini %.4f in %d round(s), %d time units (%d retries total)\n",
+			p.RecoveredGini, p.RoundsToRecover, p.RecoveryTime, p.Retries)
+	}
 	return nil
 }
 

@@ -16,6 +16,7 @@ var DeterministicPkgs = []string{
 	"internal/ktree",
 	"internal/exp",
 	"internal/workload",
+	"internal/faults",
 }
 
 // Nondeterminism forbids the three ways nondeterminism has crept (or

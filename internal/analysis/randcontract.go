@@ -10,13 +10,16 @@ import (
 // inside code that runs on another goroutine — the body (and argument
 // list) of a `go` statement, or a worker callback handed to
 // internal/par — neither the engine RNG nor any *math/rand.Rand
-// captured from the enclosing scope may be touched. The sanctioned
-// pattern is a per-worker engine/RNG seeded from the parent before the
-// fan-out, which the analyzer recognises: an RNG (or engine) declared
-// inside the concurrent region is fine.
+// captured from the enclosing scope may be touched. The same contract
+// covers *faults.Injector: its drop/duplicate/jitter streams are plain
+// *rand.Rand values behind method calls, so a shared injector consulted
+// from a worker is the engine-RNG race wearing a different type. The
+// sanctioned pattern is a per-worker engine/RNG/injector seeded from
+// the parent before the fan-out, which the analyzer recognises: a
+// value declared inside the concurrent region is fine.
 var RandContract = &Analyzer{
 	Name: "randcontract",
-	Doc:  "flag sim.Engine.Rand / captured *rand.Rand use inside go statements and par worker callbacks",
+	Doc:  "flag sim.Engine.Rand, captured *rand.Rand and captured *faults.Injector use inside go statements and par worker callbacks",
 	Run:  runRandContract,
 }
 
@@ -40,6 +43,7 @@ func runRandContract(pass *Pass) {
 			switch x := n.(type) {
 			case *ast.CallExpr:
 				checkEngineRandCall(pass, x, regions, reported)
+				checkInjectorCall(pass, x, regions, reported)
 			case *ast.Ident, *ast.SelectorExpr:
 				checkCapturedRand(pass, x.(ast.Expr), regions, reported)
 			}
@@ -107,6 +111,46 @@ func checkEngineRandCall(pass *Pass, call *ast.CallExpr, regions []concurrentReg
 	}
 	reported[call.Pos()] = true
 	pass.Reportf(call.Pos(), "%s.Rand() inside a %s: the engine RNG is single-goroutine; give each worker its own engine/RNG seeded before the fan-out", exprString(sel.X), region.kind)
+}
+
+// checkInjectorCall flags method calls on a *faults.Injector captured
+// from outside the concurrent region: the injector's fault streams draw
+// from plain *rand.Rand values and its counters are unsynchronised, so
+// sharing one across workers races exactly like sharing the engine RNG.
+func checkInjectorCall(pass *Pass, call *ast.CallExpr, regions []concurrentRegion, reported map[token.Pos]bool) {
+	fn := calleeFunc(pass.Info, call)
+	if !methodOnType(fn, "internal/faults", "Injector") {
+		return
+	}
+	region := regionOf(regions, call.Pos())
+	if region == nil || reported[call.Pos()] {
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if declaredInside(pass, sel.X, region) {
+		return // per-trial injector: the sanctioned pattern
+	}
+	reported[call.Pos()] = true
+	pass.Reportf(call.Pos(), "%s.%s() on a captured *faults.Injector inside a %s: fault streams are single-goroutine; build one injector per trial engine inside the fan-out", exprString(sel.X), fn.Name(), region.kind)
+}
+
+// methodOnType reports whether fn is any method of recvPkgSuffix.recvType.
+func methodOnType(fn *types.Func, recvPkgSuffix, recvType string) bool {
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if ptr, ok := rt.(*types.Pointer); ok {
+		rt = ptr.Elem()
+	}
+	return isPkgType(rt, recvPkgSuffix, recvType)
 }
 
 // checkCapturedRand flags reads of *math/rand.Rand values that are

@@ -6,6 +6,7 @@ package randcontract
 import (
 	"math/rand"
 
+	"p2plb/internal/faults"
 	"p2plb/internal/par"
 	"p2plb/internal/sim"
 )
@@ -35,6 +36,37 @@ type holder struct{ rng *rand.Rand }
 func (h *holder) badField(xs []float64) {
 	par.Map(xs, 0, func(x float64) float64 {
 		return x + h.rng.Float64() // want "captured *rand.Rand"
+	})
+}
+
+// badFaults consults a shared fault injector from par workers: the
+// injector's drop/jitter streams are single-goroutine RNGs.
+func badFaults(in *faults.Injector, xs []float64) {
+	par.For(len(xs), 0, func(i int) {
+		if len(in.Deliveries("k", 0, 1, 0, 1)) > 0 { // want "captured *faults.Injector"
+			xs[i] = 1
+		}
+	})
+}
+
+// badFaultsGo reads an injector counter on a spawned goroutine.
+func badFaultsGo(in *faults.Injector, out chan<- int64) {
+	go func() {
+		out <- in.Dropped() // want "captured *faults.Injector"
+	}()
+}
+
+// goodFaults builds one injector per trial inside the worker: the
+// sanctioned pattern, not flagged.
+func goodFaults(seed int64, xs []float64) {
+	par.For(len(xs), 0, func(i int) {
+		in, err := faults.New(seed+int64(i), faults.Plan{Drop: 0.1})
+		if err != nil {
+			return
+		}
+		if len(in.Deliveries("k", 0, 1, 0, 1)) > 0 {
+			xs[i] = 1
+		}
 	})
 }
 

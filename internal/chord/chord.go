@@ -22,6 +22,7 @@ package chord
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 
@@ -683,4 +684,94 @@ func (r *Ring) CheckInvariants() {
 	if len(r.vss) > 0 && total != ident.SpaceSize {
 		panic(fmt.Sprintf("chord: regions cover %d of %d", total, ident.SpaceSize))
 	}
+}
+
+// Conservation is a snapshot of the quantities the fault-tolerance layer
+// must preserve across drops, duplicates, partitions and crashes: the
+// total load in the system. Capture it with SnapshotConservation before
+// injecting faults and hand it to CheckConservation after every round.
+type Conservation struct {
+	TotalLoad float64
+	NumVS     int
+}
+
+// SnapshotConservation captures the current load books.
+func (r *Ring) SnapshotConservation() Conservation {
+	var total float64
+	for _, vs := range r.vss {
+		total += vs.Load
+	}
+	return Conservation{TotalLoad: total, NumVS: len(r.vss)}
+}
+
+// CheckConservation verifies the fault-tolerance contract against a
+// pre-fault snapshot and returns the first violation found:
+//
+//   - no VS is lost: every virtual server on the global ring is hosted
+//     by exactly one node, and every hosted virtual server is on the
+//     global ring (a prepare that never commits must leave the VS with
+//     its sender; an abort must not orphan it);
+//   - no VS is double-hosted: a virtual server never appears in two
+//     nodes' books, and its Owner back-link matches the hosting node (a
+//     duplicated commit must be idempotent);
+//   - every hosting node is alive and no load is negative;
+//   - total load is conserved within a relative 1e-9 tolerance (crashes
+//     hand the departed region's load to the ring successor and joins
+//     enter with zero load, so the total is invariant even under
+//     membership change).
+//
+// The VS population may legitimately shrink (crash) or grow (restart,
+// join); Conservation.NumVS is recorded for tests that run without
+// membership change and want to assert it separately. Unlike
+// CheckInvariants this returns an error instead of panicking, so fault
+// experiments can attribute the failing round.
+func (r *Ring) CheckConservation(base Conservation) error {
+	hostings := make(map[*VServer]int, len(r.vss))
+	var total float64
+	for i, vs := range r.vss {
+		if i > 0 && r.vss[i-1].ID >= vs.ID { //lbvet:ignore identcompare asserts the canonical sorted-array invariant, a total-order property
+			return fmt.Errorf("chord: ring order violated at position %d", i)
+		}
+		if vs.Owner == nil {
+			return fmt.Errorf("chord: vs %s has no owner", vs.ID)
+		}
+		if !vs.Owner.Alive {
+			return fmt.Errorf("chord: vs %s owned by dead node %d", vs.ID, vs.Owner.Index)
+		}
+		if vs.Load < 0 {
+			return fmt.Errorf("chord: vs %s has negative load %v", vs.ID, vs.Load)
+		}
+		hostings[vs] = 0
+		total += vs.Load
+	}
+	for _, n := range r.nodes {
+		for _, vs := range n.vservers {
+			if !n.Alive {
+				return fmt.Errorf("chord: dead node %d still hosts vs %s", n.Index, vs.ID)
+			}
+			count, onRing := hostings[vs]
+			if !onRing {
+				return fmt.Errorf("chord: node %d hosts vs %s which is not on the ring", n.Index, vs.ID)
+			}
+			if vs.Owner != n {
+				return fmt.Errorf("chord: vs %s hosted by node %d but owned by node %d (double-hosted)",
+					vs.ID, n.Index, vs.Owner.Index)
+			}
+			hostings[vs] = count + 1
+		}
+	}
+	for _, vs := range r.vss {
+		switch c := hostings[vs]; {
+		case c == 0:
+			return fmt.Errorf("chord: vs %s is on the ring but hosted by no node (lost)", vs.ID)
+		case c > 1:
+			return fmt.Errorf("chord: vs %s hosted %d times (double-hosted)", vs.ID, c)
+		}
+	}
+	tol := 1e-9 * math.Max(1, math.Abs(base.TotalLoad))
+	if diff := math.Abs(total - base.TotalLoad); diff > tol {
+		return fmt.Errorf("chord: total load %v drifted from snapshot %v (|Δ|=%v)",
+			total, base.TotalLoad, diff)
+	}
+	return nil
 }

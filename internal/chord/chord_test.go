@@ -430,3 +430,94 @@ func TestTopologyLatencyModel(t *testing.T) {
 		t.Fatal("lookup under topology latency never completed")
 	}
 }
+
+// TestCheckConservationClean verifies the checker accepts a healthy ring
+// through the legitimate membership operations: transfers (load moves,
+// total unchanged), crashes (successor absorbs the departed load) and
+// joins (new VSs enter with zero load).
+func TestCheckConservationClean(t *testing.T) {
+	r := NewRing(sim.NewEngine(1), Config{})
+	for i := 0; i < 5; i++ {
+		r.AddNode(-1, 100, 3)
+	}
+	for i, vs := range r.VServers() {
+		vs.Load = float64(i + 1)
+	}
+	base := r.SnapshotConservation()
+	if base.NumVS != 15 {
+		t.Fatalf("snapshot NumVS = %d, want 15", base.NumVS)
+	}
+	if err := r.CheckConservation(base); err != nil {
+		t.Fatalf("fresh ring fails conservation: %v", err)
+	}
+
+	r.Transfer(r.VServers()[0], r.Nodes()[4])
+	if err := r.CheckConservation(base); err != nil {
+		t.Fatalf("after transfer: %v", err)
+	}
+
+	r.RemoveNode(r.Nodes()[2])
+	if err := r.CheckConservation(base); err != nil {
+		t.Fatalf("after crash: %v", err)
+	}
+
+	r.AddNode(-1, 80, 2)
+	if err := r.CheckConservation(base); err != nil {
+		t.Fatalf("after join: %v", err)
+	}
+}
+
+// TestCheckConservationViolations manufactures each failure mode the
+// checker exists to catch and asserts it is reported.
+func TestCheckConservationViolations(t *testing.T) {
+	build := func() *Ring {
+		r := NewRing(sim.NewEngine(2), Config{})
+		for i := 0; i < 3; i++ {
+			r.AddNode(-1, 100, 2)
+		}
+		for _, vs := range r.VServers() {
+			vs.Load = 10
+		}
+		return r
+	}
+
+	r := build()
+	base := r.SnapshotConservation()
+
+	// Lost: the owner's book no longer lists the VS.
+	r1 := build()
+	n := r1.Nodes()[0]
+	n.vservers = n.vservers[1:]
+	if err := r1.CheckConservation(base); err == nil {
+		t.Error("lost VS not detected")
+	}
+
+	// Double-hosted: a second node's book lists a VS it does not own.
+	r2 := build()
+	stray := r2.Nodes()[0].vservers[0]
+	r2.Nodes()[1].vservers = append(r2.Nodes()[1].vservers, stray)
+	if err := r2.CheckConservation(base); err == nil {
+		t.Error("double-hosted VS not detected")
+	}
+
+	// Load drift: total load changed with no membership excuse.
+	r3 := build()
+	r3.VServers()[0].Load += 7
+	if err := r3.CheckConservation(base); err == nil {
+		t.Error("load drift not detected")
+	}
+
+	// Negative load.
+	r4 := build()
+	r4.VServers()[0].Load = -1
+	if err := r4.CheckConservation(r4.SnapshotConservation()); err == nil {
+		t.Error("negative load not detected")
+	}
+
+	// Dead owner still holding a live VS.
+	r5 := build()
+	r5.Nodes()[0].Alive = false
+	if err := r5.CheckConservation(base); err == nil {
+		t.Error("dead owner not detected")
+	}
+}

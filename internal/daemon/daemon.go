@@ -61,6 +61,13 @@ type Daemon struct {
 	cancelRepair func()
 	running      bool
 	repairs      int
+	retries      int
+
+	// Repair-latency bookkeeping: failedSince marks the first round
+	// failure not yet followed by a successful repair, so the histogram
+	// records how long the system ran on a broken tree.
+	failedPending bool
+	failedSince   sim.Time
 }
 
 // New returns a stopped daemon.
@@ -98,6 +105,7 @@ func (d *Daemon) Start() error {
 				if reg := d.eng.Metrics(); reg != nil {
 					reg.Counter("daemon.repairs").Inc()
 				}
+				d.repaired()
 			}
 		})
 	}
@@ -123,6 +131,35 @@ func (d *Daemon) History() []RoundRecord { return d.history }
 // Repairs returns how many periodic maintenance sweeps succeeded.
 func (d *Daemon) Repairs() int { return d.repairs }
 
+// Retries returns the total reliable-delivery retransmissions across
+// all completed rounds.
+func (d *Daemon) Retries() int { return d.retries }
+
+// roundFailed records one failed round: the counter that used to be
+// invisible in -metrics snapshots, plus the start of the repair-latency
+// window when this is the first failure since the last good repair.
+func (d *Daemon) roundFailed() {
+	if reg := d.eng.Metrics(); reg != nil {
+		reg.Counter("daemon.rounds_failed").Inc()
+	}
+	if !d.failedPending {
+		d.failedPending = true
+		d.failedSince = d.eng.Now()
+	}
+}
+
+// repaired closes an open repair-latency window: the virtual time from
+// the first post-repair round failure to the successful repair.
+func (d *Daemon) repaired() {
+	if !d.failedPending {
+		return
+	}
+	d.failedPending = false
+	if reg := d.eng.Metrics(); reg != nil {
+		reg.Histogram("daemon.repair.latency").Observe(int64(d.eng.Now() - d.failedSince))
+	}
+}
+
 // unitLoadGini computes the Gini coefficient of per-node unit load.
 func (d *Daemon) unitLoadGini() float64 {
 	var units []float64
@@ -142,8 +179,10 @@ func (d *Daemon) runRound() {
 	// changed since the last repair).
 	if _, err := d.tree.Repair(); err != nil {
 		d.history = append(d.history, RoundRecord{StartedAt: d.eng.Now(), Err: err})
+		d.roundFailed()
 		return
 	}
+	d.repaired()
 	rec := RoundRecord{StartedAt: d.eng.Now(), GiniBefore: d.unitLoadGini()}
 	if reg := d.eng.Metrics(); reg != nil {
 		reg.Series("daemon.gini.before").Append(float64(rec.StartedAt), rec.GiniBefore)
@@ -153,12 +192,21 @@ func (d *Daemon) runRound() {
 		rec.Err = err
 		rec.GiniAfter = d.unitLoadGini()
 		d.history = append(d.history, rec)
+		if res != nil {
+			d.retries += res.Retries
+		}
 		if reg := d.eng.Metrics(); reg != nil {
 			reg.Counter("daemon.rounds").Inc()
 			if err != nil {
 				reg.Counter("daemon.round_errors").Inc()
 			}
+			if res != nil {
+				reg.Counter("daemon.retries").Add(int64(res.Retries))
+			}
 			reg.Series("daemon.gini.after").Append(float64(d.eng.Now()), rec.GiniAfter)
+		}
+		if err != nil {
+			d.roundFailed()
 		}
 	})
 	if err != nil {
@@ -166,6 +214,7 @@ func (d *Daemon) runRound() {
 		// round) — skip this tick.
 		rec.Err = err
 		d.history = append(d.history, rec)
+		d.roundFailed()
 	}
 }
 
@@ -174,6 +223,7 @@ type Summary struct {
 	Rounds       int
 	Failed       int
 	TotalMoved   float64
+	TotalRetries int
 	MeanGiniPre  float64
 	MeanGiniPost float64
 }
@@ -181,6 +231,7 @@ type Summary struct {
 // Summarize folds the history into a Summary.
 func (d *Daemon) Summarize() Summary {
 	var s Summary
+	s.TotalRetries = d.retries
 	for _, rec := range d.history {
 		s.Rounds++
 		if rec.Err != nil {

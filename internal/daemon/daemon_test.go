@@ -6,7 +6,9 @@ import (
 
 	"p2plb/internal/chord"
 	"p2plb/internal/core"
+	"p2plb/internal/faults"
 	"p2plb/internal/ktree"
+	"p2plb/internal/metrics"
 	"p2plb/internal/objects"
 	"p2plb/internal/protocol"
 	"p2plb/internal/sim"
@@ -222,5 +224,83 @@ func TestRoundIntervalShorterThanRoundSkips(t *testing.T) {
 	}
 	if skipped == 0 {
 		t.Fatal("expected skipped ticks with interval 1")
+	}
+}
+
+// TestRetriesSurfacedInMetrics runs the daemon under packet loss and
+// requires the retransmission totals to show up in both the registry
+// and the summary (before this, lost messages were retried silently).
+func TestRetriesSurfacedInMetrics(t *testing.T) {
+	ring, tree, _, _ := fixture(6, 96, 10000)
+	reg := metrics.NewRegistry()
+	ring.Engine().SetMetrics(reg)
+	in, err := faults.New(6, faults.Plan{Drop: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Attach(ring); err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(ring, tree, Config{
+		RoundInterval: 5000,
+		Protocol:      protocol.Config{Core: core.Config{Epsilon: 0.05}, ChildTimeout: 500},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	ring.Engine().RunUntil(30000)
+	d.Stop()
+	ring.Engine().Run()
+
+	if d.Retries() == 0 {
+		t.Fatal("10% loss produced no retransmissions")
+	}
+	if got := reg.Counter("daemon.retries").Value(); got != int64(d.Retries()) {
+		t.Errorf("daemon.retries counter %d, want %d", got, d.Retries())
+	}
+	if got := d.Summarize().TotalRetries; got != d.Retries() {
+		t.Errorf("Summary.TotalRetries %d, want %d", got, d.Retries())
+	}
+}
+
+// TestFailedRoundsAndRepairLatencySurfaced drives the skip path (round
+// interval shorter than a round) with a registry attached: every failed
+// tick must count, and the failure→successful-repair window must land
+// in the repair-latency histogram.
+func TestFailedRoundsAndRepairLatencySurfaced(t *testing.T) {
+	ring, tree, _, _ := fixture(7, 64, 5000)
+	reg := metrics.NewRegistry()
+	ring.Engine().SetMetrics(reg)
+	d, err := New(ring, tree, Config{
+		RoundInterval: 1,
+		Protocol:      protocol.Config{Core: core.Config{Epsilon: 0.05}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	ring.Engine().RunUntil(50)
+	d.Stop()
+	ring.Engine().Run()
+
+	failed := 0
+	for _, rec := range d.History() {
+		if rec.Err != nil {
+			failed++
+		}
+	}
+	if failed == 0 {
+		t.Fatal("expected skipped ticks with interval 1")
+	}
+	if got := reg.Counter("daemon.rounds_failed").Value(); got != int64(failed) {
+		t.Errorf("daemon.rounds_failed %d, want %d", got, failed)
+	}
+	h := reg.Histogram("daemon.repair.latency")
+	if h.Count() == 0 {
+		t.Error("no repair-latency window closed despite failures followed by repairs")
+	}
+	if h.Sum() <= 0 {
+		t.Errorf("repair latency sum %d, want positive virtual time", h.Sum())
 	}
 }

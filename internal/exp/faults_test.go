@@ -1,0 +1,73 @@
+package exp
+
+import "testing"
+
+func TestFaultSweepConservesAndDegradesGracefully(t *testing.T) {
+	rows, err := FaultSweep(3, 64, []float64{0, 0.10}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	clean, lossy := rows[0], rows[1]
+	if clean.Dropped != 0 || clean.Retries != 0 || clean.Failed != 0 {
+		t.Errorf("rate-0 row not clean: %+v", clean)
+	}
+	if clean.Completed != clean.Rounds {
+		t.Errorf("rate-0 row completed %d of %d rounds", clean.Completed, clean.Rounds)
+	}
+	if lossy.Dropped == 0 {
+		t.Error("10% loss dropped nothing")
+	}
+	if lossy.Retries == 0 {
+		t.Error("10% loss forced no retransmissions")
+	}
+	if lossy.Completed == 0 {
+		t.Fatal("no round completed under 10% loss")
+	}
+	if clean.FinalGini > 0 && lossy.FinalGini > 2*clean.FinalGini {
+		t.Errorf("lossy imbalance %.4f exceeds 2× clean %.4f", lossy.FinalGini, clean.FinalGini)
+	}
+	if lossy.MeanRoundTime < clean.MeanRoundTime {
+		t.Errorf("retransmission made rounds faster? clean %.0f lossy %.0f",
+			clean.MeanRoundTime, lossy.MeanRoundTime)
+	}
+}
+
+func TestFaultSweepValidation(t *testing.T) {
+	if _, err := FaultSweep(1, 16, []float64{0.5}, 0); err == nil {
+		t.Error("zero rounds accepted")
+	}
+	if _, err := FaultSweep(1, 16, []float64{1.5}, 1); err == nil {
+		t.Error("rate above 1 accepted")
+	}
+	if _, err := FaultSweep(1, 16, []float64{-0.1}, 1); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
+func TestPartitionRecovery(t *testing.T) {
+	row, err := PartitionRecovery(5, 64, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.PartitionRounds != 2 {
+		t.Errorf("partition rounds %d, want 2", row.PartitionRounds)
+	}
+	// The cut leaves cross-side imbalance a clean round would have fixed.
+	if row.GiniAtHeal <= row.BaselineGini {
+		t.Errorf("partition left gini %.4f, not above baseline %.4f",
+			row.GiniAtHeal, row.BaselineGini)
+	}
+	if row.RoundsToRecover < 0 {
+		t.Fatalf("never recovered: %+v", row)
+	}
+	if row.RecoveredGini > row.BaselineGini*1.25+1e-6 {
+		t.Errorf("recovered gini %.4f above threshold of baseline %.4f",
+			row.RecoveredGini, row.BaselineGini)
+	}
+	if row.RecoveryTime <= 0 {
+		t.Errorf("non-positive recovery time %d", row.RecoveryTime)
+	}
+}

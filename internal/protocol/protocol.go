@@ -19,6 +19,19 @@
 // Both executions share the classification and pairing rules through
 // core's exported primitives, so on a static ring they produce
 // equivalent balancing outcomes.
+//
+// Every message is sent through sim.Engine.Deliver, so a fault plan
+// (internal/faults) can drop, duplicate or delay it. The flows that
+// must survive that are hardened: converge-cast replies, dissemination
+// copies and pairing notifications carry sequence-numbered acks with
+// bounded, exponentially backed-off retransmission and receiver-side
+// dedup (exactly-once handler execution), and the virtual-server
+// transfer is a two-phase prepare/commit handoff whose commit applies
+// ring.Transfer exactly once — a VS is never lost and never
+// double-hosted no matter where a drop, duplicate or crash lands
+// (chord.Ring.CheckConservation is the executable statement of that
+// guarantee). The per-level epoch timeouts remain the backstop for what
+// retransmission cannot fix: dead or partitioned subtrees.
 package protocol
 
 import (
@@ -40,8 +53,13 @@ const (
 	MsgVSADown     = "protocol.vsa-collect"  // parent → child VSA pull
 	MsgVSAUp       = "protocol.vsa-report"   // child → parent VSA reply
 	MsgAssign      = "protocol.vsa-assign"   // rendezvous → endpoints
-	MsgTransfer    = "protocol.vst-transfer" // the virtual server movement
+	MsgPrepare     = "protocol.vst-prepare"  // heavy → light handoff reservation
+	MsgTransfer    = "protocol.vst-transfer" // the virtual server movement (commit)
 )
+
+// MsgAckSuffix is appended to a reliable message's kind for its
+// acknowledgement (e.g. "protocol.lbi-report.ack").
+const MsgAckSuffix = ".ack"
 
 // Config parameterizes a Runner.
 type Config struct {
@@ -63,11 +81,24 @@ type Config struct {
 	// the §4.3 claim that the scheme adapts to other DHTs. It changes
 	// only lookup paths, never outcomes.
 	PrefixRouting bool
+	// MaxRetries bounds how often a reliable message (converge-cast
+	// replies, dissemination, pairing notifications, the two-phase
+	// handoff) is retransmitted when its ack does not arrive. The
+	// retransmission timer starts at one round trip plus slack and
+	// doubles per attempt (exponential backoff). 0 means the default of
+	// 5; lossless runs never retransmit, so the knob only matters under
+	// a fault plan.
+	MaxRetries int
 }
 
 // defaultChildTimeout is the per-level slack used when Config leaves
 // ChildTimeout zero.
 const defaultChildTimeout = 5000
+
+// defaultMaxRetries is the retransmission bound used when Config leaves
+// MaxRetries zero. Five doublings from one round trip tolerate ~30%
+// loss with high probability without stretching timed-out epochs.
+const defaultMaxRetries = 5
 
 // Runner executes rounds over a ring and its tree.
 type Runner struct {
@@ -133,6 +164,9 @@ func NewRunner(ring *chord.Ring, tree *ktree.Tree, cfg Config) (*Runner, error) 
 	if cfg.ChildTimeout < 0 {
 		return nil, fmt.Errorf("protocol: negative child timeout")
 	}
+	if cfg.MaxRetries < 0 {
+		return nil, fmt.Errorf("protocol: negative retry bound")
+	}
 	return &Runner{ring: ring, tree: tree, cfg: cfg, eng: ring.Engine()}, nil
 }
 
@@ -143,10 +177,14 @@ type Result struct {
 	// for (dead or unreachable subtrees).
 	TimedOutChildren int
 	// AbortedTransfers counts pairings whose endpoint died before the
-	// transfer completed.
+	// transfer completed, or whose prepare/commit phase exhausted its
+	// retries.
 	AbortedTransfers int
 	// NodesClassified counts nodes that received the global tuple.
 	NodesClassified int
+	// Retries counts retransmissions of reliable messages (zero on a
+	// lossless network).
+	Retries int
 }
 
 // round carries one round's mutable state.
@@ -162,6 +200,15 @@ type round struct {
 	vsaInbox   map[*ktree.Node]*core.PairList
 	leafOfVS   map[*chord.VServer]*ktree.Node
 	publishing int // outstanding routed publications
+
+	// Reliable-delivery state. seen is the receiver-side dedup set: a
+	// sequence number enters it when its message is first accepted, so
+	// duplicated or retransmitted copies are idempotent. It is freshly
+	// allocated every round (never recycled through roundScratch) because
+	// a late retransmit may arrive after the round closed.
+	nextSeq    uint64
+	seen       map[uint64]bool
+	maxRetries int
 
 	outstandingTransfers int
 	vsaDone              bool
@@ -200,15 +247,21 @@ func (r *Runner) StartRound(done func(*Result, error)) error {
 	if timeout == 0 {
 		timeout = defaultChildTimeout
 	}
+	retries := r.cfg.MaxRetries
+	if retries == 0 {
+		retries = defaultMaxRetries
+	}
 	sc := r.takeScratch()
 	rd := &round{
-		r:        r,
-		timeout:  timeout,
-		start:    r.eng.Now(),
-		lbiInbox: sc.lbiInbox,
-		states:   sc.states,
-		vsaInbox: sc.vsaInbox,
-		leafOfVS: sc.leafOfVS,
+		r:          r,
+		timeout:    timeout,
+		start:      r.eng.Now(),
+		lbiInbox:   sc.lbiInbox,
+		states:     sc.states,
+		vsaInbox:   sc.vsaInbox,
+		leafOfVS:   sc.leafOfVS,
+		seen:       make(map[uint64]bool),
+		maxRetries: retries,
 		res: &Result{Result: core.Result{
 			Mode:        r.cfg.Core.Mode,
 			MovedByHops: &stats.WeightedHistogram{},
@@ -216,7 +269,10 @@ func (r *Runner) StartRound(done func(*Result, error)) error {
 		}},
 		finish: func(res *Result, err error) {
 			r.roundActive = false
-			if err == nil && res.TimedOutChildren == 0 && res.AbortedTransfers == 0 {
+			// Recycle the scratch only after a perfectly clean round:
+			// timeouts, aborts and retransmissions all mean stale epoch
+			// events or late copies may still reference the maps.
+			if err == nil && res.TimedOutChildren == 0 && res.AbortedTransfers == 0 && res.Retries == 0 {
 				r.scratch = sc
 			}
 			r.recordRound(res, err)
@@ -267,6 +323,7 @@ func (r *Runner) recordRound(res *Result, err error) {
 	reg.Histogram("protocol.phase.vst").Observe(int64(res.TimeVSTComplete))
 	reg.Counter("protocol.timeouts").Add(int64(res.TimedOutChildren))
 	reg.Counter("protocol.aborted_transfers").Add(int64(res.AbortedTransfers))
+	reg.Counter("protocol.retries").Add(int64(res.Retries))
 	reg.Counter("protocol.pairs.assigned").Add(int64(len(res.Assignments)))
 	reg.Counter("protocol.pairs.unassigned").Add(int64(res.UnassignedOffers))
 	reg.Float("protocol.moved_load").Add(res.MovedLoad)
@@ -290,14 +347,87 @@ func (rd *round) epochWindow(n *ktree.Node) sim.Time {
 	return rd.timeout * sim.Time(levels)
 }
 
+// hostIdx returns the physical-node index hosting a KT node, the
+// endpoint identity the fault layer partitions on.
+func hostIdx(n *ktree.Node) int { return n.Host.Owner.Index }
+
+// reliable delivers kind with at-least-once retransmission and
+// receiver-side dedup — together, exactly-once handler execution:
+//
+//   - each copy that arrives offers the message to handle; the first
+//     accepted copy marks the sequence number seen, so duplicates and
+//     retransmits only re-ack. handle returning false models a dead or
+//     no-longer-valid receiver: no dedup mark, no ack — silence.
+//   - every accepted arrival acks back to the sender; the first ack
+//     settles the exchange.
+//   - the sender retransmits when no ack arrives within the timer —
+//     one round trip plus slack, doubling per attempt — up to the
+//     round's retry bound, then settles failed.
+//
+// settle(ok) runs exactly once per call (ok: an ack arrived; !ok:
+// retries exhausted). A settled failure does NOT imply the handler
+// never ran — the data may have arrived with every ack lost — so
+// side effects that must not double (the VST commit) live in the
+// handler behind the dedup, and failure paths only release resources.
+func (rd *round) reliable(kind string, src, dst int, cost sim.Time, handle func() bool, settle func(ok bool)) {
+	eng := rd.r.eng
+	seq := rd.nextSeq
+	rd.nextSeq++
+	settled := false
+	resolve := func(ok bool) {
+		if settled {
+			return
+		}
+		settled = true
+		if settle != nil {
+			settle(ok)
+		}
+	}
+	var send func(attemptsLeft int, rto sim.Time)
+	send = func(attemptsLeft int, rto sim.Time) {
+		if settled || rd.finished {
+			return
+		}
+		eng.Deliver(kind, src, dst, cost, func() {
+			if rd.finished {
+				return
+			}
+			if !rd.seen[seq] {
+				if handle != nil && !handle() {
+					return
+				}
+				rd.seen[seq] = true
+			}
+			eng.Deliver(kind+MsgAckSuffix, dst, src, cost, func() { resolve(true) })
+		})
+		eng.Schedule(rto, func() {
+			if settled || rd.finished {
+				return
+			}
+			if attemptsLeft <= 1 {
+				resolve(false)
+				return
+			}
+			rd.res.Retries++
+			send(attemptsLeft-1, 2*rto)
+		})
+	}
+	send(rd.maxRetries+1, 2*cost+2)
+}
+
 // leafFor returns the single leaf a virtual server reports through this
-// round.
+// round, or nil for a VS the tree does not know yet: a virtual server
+// that joined since the last repair (a restarted node rejoining
+// mid-round) has no leaves until Repair plants them, so its reports
+// simply sit out the round — the soft-state behaviour, not an error.
 func (rd *round) leafFor(vs *chord.VServer) *ktree.Node {
 	if leaf, ok := rd.leafOfVS[vs]; ok {
 		return leaf
 	}
-	leaves := rd.r.tree.LeavesOf(vs)
-	leaf := leaves[rd.r.eng.Rand().Intn(len(leaves))]
+	var leaf *ktree.Node
+	if leaves := rd.r.tree.LeavesOf(vs); len(leaves) > 0 {
+		leaf = leaves[rd.r.eng.Rand().Intn(len(leaves))]
+	}
 	rd.leafOfVS[vs] = leaf
 	return leaf
 }
@@ -316,6 +446,9 @@ func (rd *round) depositLBIReports() {
 			vs = all[eng.Rand().Intn(len(all))]
 		}
 		leaf := rd.leafFor(vs)
+		if leaf == nil {
+			continue // fresh joiner: no leaf until the next repair
+		}
 		rd.lbiInbox[leaf] = append(rd.lbiInbox[leaf], core.NodeLBI(n))
 	}
 }
@@ -352,22 +485,26 @@ func (rd *round) collectLBI(n *ktree.Node, cb func(core.LBI)) {
 		c := c
 		pending++
 		edge := rd.r.tree.EdgeLatency(c)
-		eng.CountMessage(MsgCollectDown, edge)
-		eng.Schedule(edge, func() {
+		// Both directions are acked and retransmitted: a lost pull would
+		// silence the child's whole subtree, compounding per level, so
+		// the epoch timeout is reserved for genuinely dead subtrees.
+		// The reply merges exactly once (receiver dedup).
+		rd.reliable(MsgCollectDown, hostIdx(n), hostIdx(c), edge, func() bool {
 			rd.collectLBI(c, func(sub core.LBI) {
-				eng.CountMessage(MsgReportUp, edge)
-				eng.Schedule(edge, func() {
+				rd.reliable(MsgReportUp, hostIdx(c), hostIdx(n), edge, func() bool {
 					if closed {
-						return // reply after epoch closed
+						return true // reply after epoch closed: absorbed, still acked
 					}
 					agg = agg.Merge(sub)
 					pending--
 					if pending == 0 {
 						finish()
 					}
-				})
+					return true
+				}, nil)
 			})
-		})
+			return true
+		}, nil)
 	}
 	if pending == 0 {
 		finish()
@@ -383,8 +520,12 @@ func (rd *round) collectLBI(n *ktree.Node, cb func(core.LBI)) {
 
 // disseminate pushes the global tuple down the tree; each leaf delivery
 // classifies its host's owner node (once) and triggers publication.
+// Downward copies are acked and retransmitted: losing one would
+// silently leave a whole subtree unclassified for the round, a much
+// worse failure than the extra ack traffic. The publishing counter is
+// settled on the sender side — exactly once per edge, whether the copy
+// landed (ack) or the retries ran dry — so the VSA epoch always starts.
 func (rd *round) disseminate(n *ktree.Node) {
-	eng := rd.r.eng
 	rd.publishing++ // guards VSA start until this subtree finishes
 	var walk func(n *ktree.Node)
 	walk = func(n *ktree.Node) {
@@ -401,12 +542,10 @@ func (rd *round) disseminate(n *ktree.Node) {
 			}
 			c := c
 			edge := rd.r.tree.EdgeLatency(c)
-			eng.CountMessage(MsgDisperse, edge)
 			rd.publishing++
-			eng.Schedule(edge, func() {
-				walk(c)
-				rd.publishDone()
-			})
+			rd.reliable(MsgDisperse, hostIdx(n), hostIdx(c), edge,
+				func() bool { walk(c); return true },
+				func(bool) { rd.publishDone() })
 		}
 	}
 	walk(n)
@@ -467,6 +606,9 @@ func (rd *round) cfg() core.Config { return rd.r.cfg.Core }
 // reporting leaf.
 func (rd *round) deposit(vs *chord.VServer, st *core.NodeState, group uint64) {
 	leaf := rd.leafFor(vs)
+	if leaf == nil {
+		return // fresh joiner: the advertisement waits for the next round
+	}
 	pl := rd.vsaInbox[leaf]
 	if pl == nil {
 		pl = &core.PairList{}
@@ -560,22 +702,22 @@ func (rd *round) collectVSA(n *ktree.Node, isRoot bool, cb func(*core.PairList))
 		c := c
 		pending++
 		edge := rd.r.tree.EdgeLatency(c)
-		eng.CountMessage(MsgVSADown, edge)
-		eng.Schedule(edge, func() {
+		rd.reliable(MsgVSADown, hostIdx(n), hostIdx(c), edge, func() bool {
 			rd.collectVSA(c, false, func(sub *core.PairList) {
-				eng.CountMessage(MsgVSAUp, edge)
-				eng.Schedule(edge, func() {
+				rd.reliable(MsgVSAUp, hostIdx(c), hostIdx(n), edge, func() bool {
 					if closed {
-						return
+						return true
 					}
 					lists.Merge(sub)
 					pending--
 					if pending == 0 {
 						closeEpoch()
 					}
-				})
+					return true
+				}, nil)
 			})
-		})
+			return true
+		}, nil)
 	}
 	if pending == 0 {
 		closeEpoch()
@@ -589,46 +731,138 @@ func (rd *round) collectVSA(n *ktree.Node, isRoot bool, cb func(*core.PairList))
 	})
 }
 
-// emitPair sends the pairing to both endpoints and starts the transfer.
+// emitPair sends the pairing to both endpoints and starts the two-phase
+// handoff. The heavy endpoint's notification is reliable (it drives the
+// transfer); the light endpoint's copy is informational — the prepare
+// phase re-validates the receiver — so it rides an unreliable send.
 func (rd *round) emitPair(rendezvous *ktree.Node, p core.Pair) {
 	eng := rd.r.eng
 	host := rendezvous.Host.Owner
 	costFrom := rd.r.ring.Latency(host, p.From) + 1
 	costTo := rd.r.ring.Latency(host, p.To) + 1
-	eng.CountMessage(MsgAssign, costFrom)
-	eng.CountMessage(MsgAssign, costTo)
-	assignedAt := eng.Now() - rd.start
 	rd.outstandingTransfers++
-	eng.Schedule(costFrom, func() {
-		// The heavy node starts the transfer on notification; it
-		// completes after the inter-node latency.
-		if !p.From.Alive || !p.To.Alive || p.VS.Owner != p.From {
-			rd.res.AbortedTransfers++
-			rd.transferDone()
-			return
-		}
-		duration := rd.r.ring.Latency(p.From, p.To) + 1
-		eng.CountMessage(MsgTransfer, duration)
-		eng.Schedule(duration, func() {
-			if !p.To.Alive {
-				rd.res.AbortedTransfers++
-				rd.transferDone()
+	h := &handoff{rd: rd, rendezvous: rendezvous, p: p, assignedAt: eng.Now() - rd.start}
+	eng.Deliver(MsgAssign, host.Index, p.To.Index, costTo, func() {})
+	rd.reliable(MsgAssign, host.Index, p.From.Index, costFrom,
+		func() bool {
+			if !p.From.Alive {
+				return false // a dead heavy endpoint is silent
+			}
+			h.begin()
+			return true
+		},
+		func(ok bool) {
+			if !ok {
+				h.abort()
+			}
+		})
+}
+
+// handoff is the two-phase virtual-server transfer for one pairing:
+//
+//	prepare: From reserves the move at To (reliable; the ack is the
+//	         reservation confirmation). No state changes yet.
+//	commit:  From ships the VS (reliable); the FIRST commit copy to
+//	         arrive applies ring.Transfer — the dedup set makes
+//	         duplicated or retransmitted commits idempotent, so the VS
+//	         is moved exactly once and never double-hosted.
+//	abort:   any phase exhausting its retries, or an endpoint found
+//	         dead/no-longer-owning, settles the pairing as aborted; no
+//	         ring state was touched before commit, so the VS simply
+//	         stays with its sender — never lost, load conserved.
+//
+// Each handoff settles exactly once (complete or abort), releasing the
+// round's outstanding-transfer slot.
+type handoff struct {
+	rd         *round
+	rendezvous *ktree.Node
+	p          core.Pair
+	assignedAt sim.Time
+	settled    bool
+}
+
+func (h *handoff) abort() {
+	if h.settled {
+		return
+	}
+	h.settled = true
+	h.rd.res.AbortedTransfers++
+	h.rd.transferDone()
+}
+
+// begin runs at the heavy endpoint when the (deduplicated) assignment
+// notification first arrives: validate, then reserve.
+func (h *handoff) begin() {
+	p := h.p
+	if h.settled {
+		return
+	}
+	if !p.From.Alive || p.VS.Owner != p.From || !p.To.Alive {
+		h.abort()
+		return
+	}
+	cost := h.rd.r.ring.Latency(p.From, p.To) + 1
+	h.rd.reliable(MsgPrepare, p.From.Index, p.To.Index, cost,
+		func() bool {
+			// The reservation: accepted only while the receiver is alive
+			// and the pairing can still commit. A dead receiver is silent
+			// and the sender's retries drain into an abort.
+			return h.p.To.Alive && !h.settled
+		},
+		func(ok bool) {
+			if !ok {
+				h.abort()
 				return
 			}
-			rd.r.ring.Transfer(p.VS, p.To)
-			hops := rd.transferCost(p.From, p.To)
-			rd.res.Assignments = append(rd.res.Assignments, core.Assignment{
-				VS: p.VS, From: p.From, To: p.To, Load: p.Load,
-				Hops: hops, AssignedAt: assignedAt, Depth: rendezvous.Depth,
-			})
-			rd.res.MovedLoad += p.Load
-			rd.res.MovedByHops.Add(hops, p.Load)
-			if t := eng.Now() - rd.start; t > rd.res.TimeVSTComplete {
-				rd.res.TimeVSTComplete = t
-			}
-			rd.transferDone()
+			h.commit(cost)
 		})
+}
+
+// commit runs at the sender once the reservation is acknowledged.
+func (h *handoff) commit(cost sim.Time) {
+	p := h.p
+	if h.settled {
+		return
+	}
+	if !p.From.Alive || p.VS.Owner != p.From {
+		// The sender died (its VSs were absorbed by ring successors) or
+		// lost the VS between prepare and commit.
+		h.abort()
+		return
+	}
+	h.rd.reliable(MsgTransfer, p.From.Index, p.To.Index, cost,
+		func() bool {
+			if h.settled || !p.To.Alive || p.VS.Owner != p.From {
+				return false
+			}
+			h.complete()
+			return true
+		},
+		func(ok bool) {
+			if !ok {
+				h.abort()
+			}
+		})
+}
+
+// complete applies the transfer at the receiver on the first commit
+// copy — the single point where ring state changes hands.
+func (h *handoff) complete() {
+	rd := h.rd
+	p := h.p
+	rd.r.ring.Transfer(p.VS, p.To)
+	hops := rd.transferCost(p.From, p.To)
+	rd.res.Assignments = append(rd.res.Assignments, core.Assignment{
+		VS: p.VS, From: p.From, To: p.To, Load: p.Load,
+		Hops: hops, AssignedAt: h.assignedAt, Depth: h.rendezvous.Depth,
 	})
+	rd.res.MovedLoad += p.Load
+	rd.res.MovedByHops.Add(hops, p.Load)
+	if t := rd.r.eng.Now() - rd.start; t > rd.res.TimeVSTComplete {
+		rd.res.TimeVSTComplete = t
+	}
+	h.settled = true
+	rd.transferDone()
 }
 
 func (rd *round) transferCost(from, to *chord.Node) int {

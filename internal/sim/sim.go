@@ -66,11 +66,31 @@ type Engine struct {
 	reg        *metrics.Registry
 	mMsg       map[string]msgCounters
 	queueDepth *metrics.Histogram
+
+	// Optional fault layer. nil means every Deliver call transmits one
+	// copy with no extra latency — byte-identical to the pre-fault
+	// CountMessage+Schedule pair.
+	filter  MessageFilter
+	dropped map[string]int64
 }
 
 // msgCounters pairs the registry counters for one message kind.
 type msgCounters struct {
 	count, cost *metrics.Counter
+}
+
+// NoNode marks a Deliver endpoint with no physical-node identity (setup
+// paths, broadcasts). Filters must pass such messages through verbatim —
+// they cannot place them on either side of a partition.
+const NoNode = -1
+
+// A MessageFilter decides the fate of every message offered to Deliver:
+// it returns the extra latency of each transmitted copy (empty means the
+// message is dropped; a reliable network returns one zero entry). The
+// engine owns the filter — implementations follow the engine's
+// single-goroutine contract, like Rand.
+type MessageFilter interface {
+	Deliveries(kind string, src, dst int, now, cost Time) []Time
 }
 
 // NewEngine returns an engine at time 0 with a deterministic RNG.
@@ -206,6 +226,59 @@ func (e *Engine) CountMessage(kind string, cost Time) {
 		mc.count.Inc()
 		mc.cost.Add(int64(cost))
 	}
+}
+
+// SetFilter installs a message filter (nil detaches). Install before
+// the simulation starts; swapping filters mid-run changes the fate of
+// messages sent afterwards, never of copies already scheduled.
+func (e *Engine) SetFilter(f MessageFilter) { e.filter = f }
+
+// Filter returns the installed message filter (nil when none).
+func (e *Engine) Filter() MessageFilter { return e.filter }
+
+// Deliver transmits one protocol message of the given kind from node
+// src to node dst (physical-node indexes, NoNode when inapplicable):
+// each transmitted copy is counted like CountMessage and its callback
+// scheduled after cost plus the copy's extra latency. Without a filter
+// exactly one copy is sent with no extra latency — the same count and
+// the same event the CountMessage+Schedule pair produced, so a
+// fault-free run is byte-identical to one that never calls Deliver.
+// With a filter, the filter decides: no copies means the message is
+// dropped (counted per kind in DroppedCount, fn never runs), several
+// copies model duplication, extra latency models jitter.
+func (e *Engine) Deliver(kind string, src, dst int, cost Time, fn func()) {
+	if e.filter == nil {
+		e.CountMessage(kind, cost)
+		e.Schedule(cost, fn)
+		return
+	}
+	copies := e.filter.Deliveries(kind, src, dst, e.now, cost)
+	if len(copies) == 0 {
+		if e.dropped == nil {
+			e.dropped = make(map[string]int64)
+		}
+		e.dropped[kind]++
+		return
+	}
+	for _, extra := range copies {
+		if extra < 0 {
+			extra = 0
+		}
+		e.CountMessage(kind, cost+extra)
+		e.Schedule(cost+extra, fn)
+	}
+}
+
+// DroppedCount returns how many messages of kind the filter dropped.
+func (e *Engine) DroppedCount(kind string) int64 { return e.dropped[kind] }
+
+// DroppedTotal returns the count of all dropped messages of every kind.
+func (e *Engine) DroppedTotal() int64 {
+	var n int64
+	for _, c := range e.dropped {
+		n += c
+	}
+	return n
 }
 
 // MessageCount returns how many messages of kind were counted.

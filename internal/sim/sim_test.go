@@ -216,3 +216,92 @@ func BenchmarkScheduleRun(b *testing.B) {
 	}
 	e.Run()
 }
+
+// recordingFilter scripts Deliveries outcomes and records offers.
+type recordingFilter struct {
+	script map[string][]Time // per-kind copies; missing kind = one clean copy
+	offers []string
+}
+
+func (f *recordingFilter) Deliveries(kind string, src, dst int, now, cost Time) []Time {
+	f.offers = append(f.offers, kind)
+	if copies, ok := f.script[kind]; ok {
+		return copies
+	}
+	return []Time{0}
+}
+
+func TestDeliverWithoutFilterMatchesCountPlusSchedule(t *testing.T) {
+	// The two engines must produce identical event order, counts and
+	// costs: Deliver with no filter IS the CountMessage+Schedule pair.
+	a, b := NewEngine(1), NewEngine(1)
+	var orderA, orderB []int
+	for i := 0; i < 5; i++ {
+		i := i
+		a.CountMessage("k", Time(3+i))
+		a.Schedule(Time(3+i), func() { orderA = append(orderA, i) })
+		b.Deliver("k", 0, 1, Time(3+i), func() { orderB = append(orderB, i) })
+	}
+	a.Run()
+	b.Run()
+	if len(orderA) != len(orderB) {
+		t.Fatalf("event counts differ: %d vs %d", len(orderA), len(orderB))
+	}
+	for i := range orderA {
+		if orderA[i] != orderB[i] {
+			t.Fatalf("event order differs at %d: %v vs %v", i, orderA, orderB)
+		}
+	}
+	if a.MessageCount("k") != b.MessageCount("k") || a.MessageCost("k") != b.MessageCost("k") {
+		t.Fatal("message accounting differs")
+	}
+	if b.DroppedTotal() != 0 {
+		t.Fatal("no filter, nothing may be dropped")
+	}
+}
+
+func TestDeliverDropDupJitter(t *testing.T) {
+	e := NewEngine(1)
+	f := &recordingFilter{script: map[string][]Time{
+		"drop": nil,
+		"dup":  {0, 0},
+		"jit":  {7},
+	}}
+	e.SetFilter(f)
+	ran := map[string]int{}
+	at := map[string]Time{}
+	for _, k := range []string{"drop", "dup", "jit", "clean"} {
+		k := k
+		e.Deliver(k, 0, 1, 2, func() { ran[k]++; at[k] = e.Now() })
+	}
+	e.Run()
+	if ran["drop"] != 0 || e.DroppedCount("drop") != 1 || e.MessageCount("drop") != 0 {
+		t.Errorf("drop: ran=%d dropped=%d counted=%d", ran["drop"], e.DroppedCount("drop"), e.MessageCount("drop"))
+	}
+	if ran["dup"] != 2 || e.MessageCount("dup") != 2 {
+		t.Errorf("dup: ran=%d counted=%d", ran["dup"], e.MessageCount("dup"))
+	}
+	if ran["jit"] != 1 || at["jit"] != 9 || e.MessageCost("jit") != 9 {
+		t.Errorf("jit: ran=%d at=%d cost=%d", ran["jit"], at["jit"], e.MessageCost("jit"))
+	}
+	if ran["clean"] != 1 || at["clean"] != 2 {
+		t.Errorf("clean: ran=%d at=%d", ran["clean"], at["clean"])
+	}
+	if got := len(f.offers); got != 4 {
+		t.Errorf("filter saw %d offers, want 4", got)
+	}
+	if e.DroppedTotal() != 1 {
+		t.Errorf("DroppedTotal = %d", e.DroppedTotal())
+	}
+}
+
+func TestDeliverNegativeExtraClamped(t *testing.T) {
+	e := NewEngine(1)
+	e.SetFilter(&recordingFilter{script: map[string][]Time{"k": {-5}}})
+	var fired Time = -1
+	e.Deliver("k", 0, 1, 4, func() { fired = e.Now() })
+	e.Run()
+	if fired != 4 {
+		t.Fatalf("negative extra latency must clamp to 0: fired at %d", fired)
+	}
+}
