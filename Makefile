@@ -1,9 +1,10 @@
 # Convenience targets; `make check` is the tier-1 gate (see ROADMAP.md).
 # `make lint` runs the project static-analysis suite alone for fast
 # iteration on lbvet findings. `make bench` runs the scaling benchmark
-# (64k/256k/1M virtual servers) and the fault-tolerance sweep, and
-# refreshes BENCH_scale.json and BENCH_faults.json in the repo root;
-# see EXPERIMENTS.md "Scaling" and "Fault tolerance".
+# (64k/256k/1M virtual servers), the fault-tolerance sweep and the
+# executor-runtime comparison (protocol vs livenet at 64k/256k VSs),
+# refreshing BENCH_scale.json, BENCH_faults.json and BENCH_runtime.json
+# in the repo root; see EXPERIMENTS.md "Scaling" and "Fault tolerance".
 
 .PHONY: check build test race fmt lint bench
 
@@ -17,7 +18,7 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/livenet/ ./internal/par/ ./internal/sim/ ./internal/ktree/ ./internal/daemon/ ./internal/faults/
+	go test -race ./internal/livenet/ ./internal/par/ ./internal/sim/ ./internal/ktree/ ./internal/daemon/ ./internal/faults/ ./internal/lbnode/
 
 fmt:
 	gofmt -s -w .
@@ -26,4 +27,4 @@ lint:
 	go run ./cmd/lbvet
 
 bench:
-	go run ./cmd/lbbench -bench scale,faults -out .
+	go run ./cmd/lbbench -bench scale,faults,runtime -out .

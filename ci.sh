@@ -4,12 +4,14 @@
 # Order matters: cheap static checks first (gofmt, vet, lbvet) so
 # formatting, vet or invariant findings surface before the minutes-long
 # test run. lbvet runs the project-specific analyzers (randcontract,
-# nondeterminism, identcompare, metricsguard — see DESIGN.md "Enforced
-# invariants"). The race pass covers the packages that exercise real
-# concurrency (livenet's goroutine-per-KT-node rounds, par's worker
-# pools, sim's engine contract, ktree's, daemon's and faults'
-# goroutine-spawning tests); the rest of the tree is single-goroutine
-# by design.
+# nondeterminism, identcompare, metricsguard, layercheck — see
+# DESIGN.md "Enforced invariants"). The race pass covers the packages
+# that exercise real concurrency (livenet's goroutine-per-subtree
+# rounds, par's worker pools, sim's engine contract, ktree's, daemon's
+# and faults' goroutine-spawning tests, and lbnode — whose machines are
+# single-goroutine by construction but whose cross-executor equivalence
+# test drives the concurrent livenet rounds); the rest of the tree is
+# single-goroutine by design.
 set -eu
 cd "$(dirname "$0")"
 
@@ -34,7 +36,7 @@ echo "== go test"
 go test ./...
 
 echo "== go test -race (concurrent packages)"
-go test -race ./internal/livenet/ ./internal/par/ ./internal/sim/ ./internal/ktree/ ./internal/daemon/ ./internal/faults/
+go test -race ./internal/livenet/ ./internal/par/ ./internal/sim/ ./internal/ktree/ ./internal/daemon/ ./internal/faults/ ./internal/lbnode/
 
 echo "== lbbench scale smoke (time-boxed)"
 # A small scale run keeps the O(log n) maintenance path honest without

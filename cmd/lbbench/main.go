@@ -38,19 +38,22 @@ import (
 	"p2plb/internal/core"
 	"p2plb/internal/exp"
 	"p2plb/internal/ktree"
+	"p2plb/internal/livenet"
 	"p2plb/internal/metrics"
+	"p2plb/internal/protocol"
 	"p2plb/internal/sim"
 	"p2plb/internal/topology"
 	"p2plb/internal/workload"
 )
 
 type benchConfig struct {
-	Seed       int64     `json:"seed"`
-	Nodes      int       `json:"nodes"`
-	Graphs     int       `json:"graphs,omitempty"`
-	Epsilon    float64   `json:"epsilon"`
-	ScaleSizes []int     `json:"scale_sizes,omitempty"`
-	DropRates  []float64 `json:"drop_rates,omitempty"`
+	Seed         int64     `json:"seed"`
+	Nodes        int       `json:"nodes"`
+	Graphs       int       `json:"graphs,omitempty"`
+	Epsilon      float64   `json:"epsilon"`
+	ScaleSizes   []int     `json:"scale_sizes,omitempty"`
+	RuntimeSizes []int     `json:"runtime_sizes,omitempty"`
+	DropRates    []float64 `json:"drop_rates,omitempty"`
 }
 
 type benchReport struct {
@@ -68,7 +71,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "base RNG seed")
 		nodes      = flag.Int("nodes", 4096, "number of DHT nodes")
 		graphs     = flag.Int("graphs", 10, "topology instances for fig7")
-		bench      = flag.String("bench", "fig4,vsatime", "comma-separated benchmarks: fig4, fig7, vsatime, scale, faults")
+		bench      = flag.String("bench", "fig4,vsatime", "comma-separated benchmarks: fig4, fig7, vsatime, scale, faults, runtime")
 		scalesizes = flag.String("scalesizes", "64000,256000,1000000", "comma-separated virtual-server counts for the scale benchmark")
 	)
 	flag.Parse()
@@ -184,8 +187,15 @@ func runBench(name, out string, seed int64, nodes, graphs int, scaleSizes []int)
 			"drop_sweep":         rows,
 			"partition_recovery": part,
 		}
+	case "runtime":
+		cfg.RuntimeSizes = runtimeSizes
+		rows, err := runRuntime(seed, runtimeSizes)
+		if err != nil {
+			return err
+		}
+		results = rows
 	default:
-		return fmt.Errorf("unknown benchmark %q (want fig4, fig7, vsatime, scale, faults)", name)
+		return fmt.Errorf("unknown benchmark %q (want fig4, fig7, vsatime, scale, faults, runtime)", name)
 	}
 	wall := time.Since(start)
 
@@ -298,6 +308,109 @@ func runScale(seed int64, scaleSizes []int) ([]scaleRow, error) {
 		rows = append(rows, row)
 		fmt.Printf("lbbench: scale %d VSs: build %d ms, loads %d ms, tree %d ms (%d KT nodes), round %d ms\n",
 			row.VServers, row.BuildMS, row.LoadMS, row.TreeMS, row.TreeNodes, row.RoundMS)
+	}
+	return rows, nil
+}
+
+// runtimeSizes is the virtual-server grid of the runtime benchmark.
+var runtimeSizes = []int{64_000, 256_000}
+
+// runtimeRow compares the two executors that drive the internal/lbnode
+// state machines over the same system: the deterministic-sim driver
+// (internal/protocol, every message an engine event) and the concurrent
+// channel executor (internal/livenet, goroutine per subtree). Each runs
+// one full balancing round on its own identically-seeded ring, since a
+// round mutates VS ownership.
+type runtimeRow struct {
+	VServers          int   `json:"vservers"`
+	Nodes             int   `json:"nodes"`
+	ProtocolMS        int64 `json:"protocol_round_ms"`
+	ProtocolTransfers int   `json:"protocol_transfers"`
+	LivenetMS         int64 `json:"livenet_round_ms"`
+	LivenetTransfers  int   `json:"livenet_transfers"`
+}
+
+// runtimeFixture builds the proximity-ignorant loaded ring and KT tree
+// the runtime benchmark rounds run over, 5 VSs per node as in runScale.
+func runtimeFixture(seed int64, vsCount int) (*chord.Ring, *ktree.Tree, error) {
+	const vsPerNode = 5
+	n := vsCount / vsPerNode
+	if n < 1 {
+		return nil, nil, fmt.Errorf("runtime size %d smaller than one node's %d VSs", vsCount, vsPerNode)
+	}
+	profile := workload.GnutellaProfile()
+	eng := sim.NewEngine(seed)
+	ring := chord.NewRing(eng, chord.Config{})
+	ring.BulkAddNodes(n, vsPerNode,
+		func(int) topology.NodeID { return -1 },
+		func(int) float64 { return profile.Sample(eng.Rand()) })
+	mu := float64(n) * 100
+	model := workload.Gaussian{Mu: mu, Sigma: mu / 200}
+	for _, vs := range ring.VServers() {
+		vs.Load = model.Load(eng.Rand(), ring.RegionOf(vs).Fraction())
+	}
+	tree, err := ktree.New(ring, 2)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := tree.Build(); err != nil {
+		return nil, nil, err
+	}
+	return ring, tree, nil
+}
+
+// runRuntime times one protocol round and one livenet round at each
+// requested virtual-server count. The numbers are not an apples-to-apples
+// horse race — the protocol executor also simulates per-message latency
+// bookkeeping — but their ratio pins the relative executor overhead, and
+// a jump in either is a regression in its driver, not the shared machines.
+func runRuntime(seed int64, sizes []int) ([]runtimeRow, error) {
+	coreCfg := core.Config{Epsilon: 0.05}
+	var rows []runtimeRow
+	for _, vsCount := range sizes {
+		ring, tree, err := runtimeFixture(seed, vsCount)
+		if err != nil {
+			return nil, err
+		}
+		row := runtimeRow{VServers: ring.NumVServers(), Nodes: len(ring.Nodes())}
+
+		r, err := protocol.NewRunner(ring, tree, protocol.Config{Core: coreCfg})
+		if err != nil {
+			return nil, err
+		}
+		var res *protocol.Result
+		var resErr error
+		start := time.Now()
+		if err := r.StartRound(func(out *protocol.Result, err error) { res, resErr = out, err }); err != nil {
+			return nil, err
+		}
+		ring.Engine().Run()
+		row.ProtocolMS = time.Since(start).Milliseconds()
+		if resErr != nil {
+			return nil, resErr
+		}
+		if res == nil {
+			return nil, fmt.Errorf("runtime %d VSs: protocol round never completed", vsCount)
+		}
+		row.ProtocolTransfers = len(res.Assignments)
+
+		// A fresh identically-seeded ring: the protocol round above has
+		// already moved VSs on the first one.
+		ring, tree, err = runtimeFixture(seed, vsCount)
+		if err != nil {
+			return nil, err
+		}
+		start = time.Now()
+		lres, err := livenet.RunRound(ring, tree, coreCfg, seed+1000)
+		if err != nil {
+			return nil, err
+		}
+		row.LivenetMS = time.Since(start).Milliseconds()
+		row.LivenetTransfers = len(lres.Assignments)
+
+		rows = append(rows, row)
+		fmt.Printf("lbbench: runtime %d VSs: protocol %d ms (%d transfers), livenet %d ms (%d transfers)\n",
+			row.VServers, row.ProtocolMS, row.ProtocolTransfers, row.LivenetMS, row.LivenetTransfers)
 	}
 	return rows, nil
 }

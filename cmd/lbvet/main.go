@@ -1,7 +1,7 @@
 // Command lbvet runs the project's static-analysis suite: the
 // machine-checked invariants of internal/analysis (randcontract,
-// nondeterminism, identcompare, metricsguard) over every package in
-// the module, including test files. It prints findings as
+// nondeterminism, identcompare, metricsguard, layercheck) over every
+// package in the module, including test files. It prints findings as
 // file:line:col and exits nonzero when any survive the
 // //lbvet:ignore annotations, so ci.sh can gate on it between vet and
 // build.

@@ -14,6 +14,9 @@
 //     Dist/Between/Region instead.
 //   - metricsguard: metric registry calls on hot paths stay behind the
 //     nil-registry guard pattern established by the metrics layer.
+//   - layercheck: the runtime-agnostic protocol core (internal/lbnode)
+//     must not import sim, faults or par, and must not spawn
+//     goroutines — executors own delivery and concurrency.
 //
 // Findings can be suppressed with an annotation on the same line or
 // the line immediately above:
@@ -84,6 +87,7 @@ func All() []*Analyzer {
 		Nondeterminism,
 		IdentCompare,
 		MetricsGuard,
+		Layercheck,
 	}
 }
 

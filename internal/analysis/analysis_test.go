@@ -83,6 +83,7 @@ func TestRandContractGolden(t *testing.T)   { runGolden(t, RandContract) }
 func TestNondeterminismGolden(t *testing.T) { runGolden(t, Nondeterminism) }
 func TestIdentCompareGolden(t *testing.T)   { runGolden(t, IdentCompare) }
 func TestMetricsGuardGolden(t *testing.T)   { runGolden(t, MetricsGuard) }
+func TestLayercheckGolden(t *testing.T)     { runGolden(t, Layercheck) }
 
 // TestIgnoreDirectives covers the annotation machinery beyond the
 // suppression already exercised by the identcompare fixture: a

@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// LayerPkgs are the packages under the layering rule, matched by
+// import-path suffix: the runtime-agnostic protocol core, whose state
+// machines must stay executable from any scheduling discipline.
+var LayerPkgs = []string{"internal/lbnode"}
+
+// layerForbidden are the executor-machinery packages the protocol core
+// must never import, matched by import-path suffix: the discrete-event
+// engine, the fault-injection layer, and the worker pools. chord and
+// core are the shared data model and deliberately allowed.
+var layerForbidden = []string{"internal/sim", "internal/faults", "internal/par"}
+
+// Layercheck enforces the executor/state-machine layering the lbnode
+// refactor established: the protocol core holds pure per-node
+// transitions — (state, incoming message) → (state′, outgoing actions)
+// — so delivery, retransmission, virtual time, fault plans and
+// goroutines all belong to the executors (internal/protocol drives the
+// machines through sim.Engine, internal/livenet over channels). An
+// import of sim, faults or par, or a `go` statement, inside the core
+// would silently re-entangle the layers; this analyzer makes the
+// boundary machine-checked instead of comment-enforced.
+var Layercheck = &Analyzer{
+	Name: "layercheck",
+	Doc:  "keep the runtime-agnostic protocol core (lbnode) free of sim/faults/par imports and goroutines",
+	Run:  runLayercheck,
+}
+
+func runLayercheck(pass *Pass) {
+	if !pkgInScope(pass.Path, LayerPkgs) {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			for _, forbidden := range layerForbidden {
+				if hasPathSuffix(path, forbidden) {
+					pass.Reportf(imp.Pos(), "import of %s in the runtime-agnostic protocol core: delivery, faults and concurrency belong to the executors (internal/protocol, internal/livenet)", path)
+				}
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Pos(), "go statement in the runtime-agnostic protocol core: state machines are pure transitions; executors own all concurrency")
+			}
+			return true
+		})
+	}
+}

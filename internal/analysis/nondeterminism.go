@@ -12,6 +12,7 @@ import (
 var DeterministicPkgs = []string{
 	"internal/sim",
 	"internal/core",
+	"internal/lbnode",
 	"internal/protocol",
 	"internal/ktree",
 	"internal/exp",

@@ -1,0 +1,38 @@
+// Fixture for the layercheck analyzer: the runtime-agnostic protocol
+// core (internal/lbnode) must not import executor machinery — sim,
+// faults, par — or spawn goroutines. Flagged cases carry a trailing
+// want-comment with a message substring; the good* functions are the
+// clean half: pure transitions over the shared data model.
+package layercheck
+
+import (
+	"p2plb/internal/chord"
+	"p2plb/internal/core"
+	"p2plb/internal/faults" // want "internal/faults"
+	"p2plb/internal/par"    // want "internal/par"
+	"p2plb/internal/sim"    // want "internal/sim"
+)
+
+// badEngineClock reads executor virtual time inside the protocol core.
+func badEngineClock(eng *sim.Engine) sim.Time { return eng.Now() }
+
+// badInjector consults the transport fault layer inside the core.
+func badInjector(in *faults.Injector) int64 { return in.Dropped() }
+
+// badParSweep fans state-machine work out over a worker pool.
+func badParSweep(xs []float64) {
+	par.For(len(xs), 0, func(i int) { xs[i] = 0 })
+}
+
+// badSpawn hides concurrency inside a state transition.
+func badSpawn(out chan<- core.LBI, a, b core.LBI) {
+	go func() { out <- a.Merge(b) }() // want "go statement"
+}
+
+// goodMerge is a pure transition over the shared data model — the only
+// kind of work the protocol core does.
+func goodMerge(a, b core.LBI) core.LBI { return a.Merge(b) }
+
+// goodLiveness reads the chord data model: chord and core are state,
+// not machinery, and stay importable.
+func goodLiveness(n *chord.Node) bool { return n.Alive }

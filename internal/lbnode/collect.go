@@ -1,0 +1,139 @@
+package lbnode
+
+import "p2plb/internal/core"
+
+// LBICollect is the LBI converge-cast epoch at one KT node: the local
+// reports merge at construction, each child subtree's reply merges as it
+// arrives, and the epoch closes exactly once — when the last child
+// replies, or when the executor's timer expires it with partial data.
+// Replies after the close are absorbed without effect (the executor
+// still acknowledges them so the sender stops retransmitting).
+type LBICollect struct {
+	agg     core.LBI
+	pending int
+	closed  bool
+}
+
+// NewLBICollect starts an epoch over the node's deposited reports and
+// the number of child subtrees it will query. With no children (a leaf,
+// or an internal node whose slots are all empty) the epoch is complete
+// immediately.
+func NewLBICollect(reports []core.LBI, children int) *LBICollect {
+	c := &LBICollect{pending: children}
+	for _, rep := range reports {
+		c.agg = c.agg.Merge(rep)
+	}
+	if c.pending == 0 {
+		c.closed = true
+	}
+	return c
+}
+
+// ChildReply merges one child subtree's aggregate. It returns true when
+// this reply completes the epoch; a reply after the epoch closed is
+// absorbed and returns false.
+func (c *LBICollect) ChildReply(sub core.LBI) bool {
+	if c.closed {
+		return false
+	}
+	c.agg = c.agg.Merge(sub)
+	c.pending--
+	if c.pending == 0 {
+		c.closed = true
+		return true
+	}
+	return false
+}
+
+// Expire closes a still-open epoch with partial data, returning how
+// many children never replied. An already-closed epoch reports
+// (0, false) — the timer lost the race and must not act.
+func (c *LBICollect) Expire() (timedOut int, expired bool) {
+	if c.closed {
+		return 0, false
+	}
+	c.closed = true
+	return c.pending, true
+}
+
+// Done reports whether the epoch has closed.
+func (c *LBICollect) Done() bool { return c.closed }
+
+// Aggregate returns the merged LBI gathered so far. Meaningful once the
+// epoch closed (complete or expired).
+func (c *LBICollect) Aggregate() core.LBI { return c.agg }
+
+// VSACollect is the VSA converge-cast epoch at one KT node: the node's
+// own inbox of advertisements seeds the list, children's unpaired lists
+// merge as they arrive, and the epoch closes exactly once. After the
+// close the node may act as a rendezvous point (Rendezvous) and hands
+// whatever remains unpaired to its parent (Lists).
+type VSACollect struct {
+	lists   *core.PairList
+	pending int
+	closed  bool
+}
+
+// NewVSACollect starts an epoch over the node's deposited advertisement
+// list (nil means none) and the number of child subtrees it will query.
+// The inbox PairList is consumed: pairing and upward propagation mutate
+// it in place.
+func NewVSACollect(inbox *core.PairList, children int) *VSACollect {
+	if inbox == nil {
+		inbox = &core.PairList{}
+	}
+	c := &VSACollect{lists: inbox, pending: children}
+	if c.pending == 0 {
+		c.closed = true
+	}
+	return c
+}
+
+// ChildReply merges one child subtree's unpaired list (which is consumed
+// — §3.4's upward flow). It returns true when this reply completes the
+// epoch; a reply after the close is absorbed and returns false.
+func (c *VSACollect) ChildReply(sub *core.PairList) bool {
+	if c.closed {
+		return false
+	}
+	c.lists.Merge(sub)
+	c.pending--
+	if c.pending == 0 {
+		c.closed = true
+		return true
+	}
+	return false
+}
+
+// Expire closes a still-open epoch with partial data, returning how
+// many children never replied; (0, false) if already closed.
+func (c *VSACollect) Expire() (timedOut int, expired bool) {
+	if c.closed {
+		return 0, false
+	}
+	c.closed = true
+	return c.pending, true
+}
+
+// Done reports whether the epoch has closed.
+func (c *VSACollect) Done() bool { return c.closed }
+
+// Rendezvous runs the §3.4 rendezvous rule on the closed epoch's list:
+// a node pairs when it holds any entries and is the root, or its
+// combined list length reaches the threshold (zero means the paper's
+// default of 30; negative disables intermediate rendezvous so pairing
+// happens only at the root). It returns the emitted pairings; unpaired
+// entries stay held for the parent.
+func (c *VSACollect) Rendezvous(isRoot bool, threshold int, lmin float64) []core.Pair {
+	if threshold == 0 {
+		threshold = core.DefaultRendezvousThreshold
+	}
+	if c.lists.Size() > 0 && (isRoot || (threshold > 0 && c.lists.Size() >= threshold)) {
+		return c.lists.Pair(lmin)
+	}
+	return nil
+}
+
+// Lists returns the list of entries still held (after Rendezvous: the
+// unpaired remainder that flows to the parent).
+func (c *VSACollect) Lists() *core.PairList { return c.lists }

@@ -1,0 +1,227 @@
+// Cross-executor equivalence: the same ring, seed and config run
+// through the closed-form reference (core.Balancer), the
+// deterministic-sim executor (internal/protocol) and the concurrent
+// executor (internal/livenet) must produce the identical pair set and
+// the same final unit-load Gini — all three now drive the lbnode state
+// machines (or, for the Balancer, the same core primitives beneath
+// them), so any divergence is an executor bug, not an algorithm fork.
+//
+// The cases pin RendezvousThreshold to -1 (pairing only at the root):
+// with intermediate rendezvous, WHERE an advertisement enters the tree
+// — a per-executor randomized choice — decides which rendezvous point
+// pools it, so pair sets are only executor-invariant when everything
+// pools at the root. Root-only pooling is exactly the projection of the
+// scheme that does not depend on entry placement: the root list is the
+// same multiset for every executor, and PairList.Pair canonicalizes by
+// sorting before matching.
+package lbnode_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"p2plb/internal/chord"
+	"p2plb/internal/core"
+	"p2plb/internal/faults"
+	"p2plb/internal/ktree"
+	"p2plb/internal/livenet"
+	"p2plb/internal/protocol"
+	"p2plb/internal/sim"
+	"p2plb/internal/workload"
+)
+
+// buildRing constructs the shared fixture: a loaded heterogeneous ring
+// and its KT tree on a fresh engine, identical for a given seed.
+func buildRing(t *testing.T, seed int64, nodes, vsPer int) (*chord.Ring, *ktree.Tree) {
+	t.Helper()
+	eng := sim.NewEngine(seed)
+	ring := chord.NewRing(eng, chord.Config{})
+	profile := workload.GnutellaProfile()
+	for i := 0; i < nodes; i++ {
+		ring.AddNode(-1, profile.Sample(eng.Rand()), vsPer)
+	}
+	mu := float64(nodes) * 100
+	model := workload.Gaussian{Mu: mu, Sigma: mu / 400}
+	for _, vs := range ring.VServers() {
+		vs.Load = model.Load(eng.Rand(), ring.RegionOf(vs).Fraction())
+	}
+	tree, err := ktree.New(ring, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Build(); err != nil {
+		t.Fatal(err)
+	}
+	return ring, tree
+}
+
+// outcome is the executor-invariant projection of a round.
+type outcome struct {
+	global     core.LBI
+	pairs      map[string]float64 // pair identity → transferred load
+	unassigned int
+	gini       float64
+}
+
+// pairKey identifies a pairing across ring instances by value: rings
+// built from the same seed assign the same IDs and indices.
+func pairKey(vs *chord.VServer, from, to *chord.Node) string {
+	return fmt.Sprintf("%v:%d->%d", vs.ID, from.Index, to.Index)
+}
+
+func runBalancer(t *testing.T, seed int64, nodes, vsPer int, cfg core.Config) outcome {
+	t.Helper()
+	ring, tree := buildRing(t, seed, nodes, vsPer)
+	bal, err := core.NewBalancer(ring, tree, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := bal.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := make(map[string]float64)
+	for _, a := range res.Assignments {
+		pairs[pairKey(a.VS, a.From, a.To)] = a.Load
+	}
+	return outcome{global: res.Global, pairs: pairs, unassigned: res.UnassignedOffers, gini: livenet.UnitLoadGini(ring)}
+}
+
+func runProtocol(t *testing.T, seed int64, nodes, vsPer int, cfg core.Config, withEmptyFaultPlan bool) outcome {
+	t.Helper()
+	ring, tree := buildRing(t, seed, nodes, vsPer)
+	if withEmptyFaultPlan {
+		// An empty plan must be a byte-identical passthrough: same
+		// events, same RNG draws, same outcome.
+		in, err := faults.New(seed, faults.Plan{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := in.Attach(ring); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := protocol.NewRunner(ring, tree, protocol.Config{Core: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res *protocol.Result
+	var resErr error
+	if err := r.StartRound(func(out *protocol.Result, err error) { res, resErr = out, err }); err != nil {
+		t.Fatal(err)
+	}
+	ring.Engine().Run()
+	if resErr != nil {
+		t.Fatal(resErr)
+	}
+	if res == nil {
+		t.Fatal("protocol round never completed")
+	}
+	if res.TimedOutChildren != 0 || res.AbortedTransfers != 0 || res.Retries != 0 {
+		t.Fatalf("lossless round reported failures: %+v", res)
+	}
+	pairs := make(map[string]float64)
+	for _, a := range res.Assignments {
+		pairs[pairKey(a.VS, a.From, a.To)] = a.Load
+	}
+	return outcome{global: res.Global, pairs: pairs, unassigned: res.UnassignedOffers, gini: livenet.UnitLoadGini(ring)}
+}
+
+func runLivenet(t *testing.T, seed int64, nodes, vsPer int, cfg core.Config) outcome {
+	t.Helper()
+	ring, tree := buildRing(t, seed, nodes, vsPer)
+	res, err := livenet.RunRound(ring, tree, cfg, seed+1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := make(map[string]float64)
+	for _, p := range res.Assignments {
+		pairs[pairKey(p.VS, p.From, p.To)] = p.Load
+	}
+	return outcome{global: res.Global, pairs: pairs, unassigned: res.UnassignedOffers, gini: livenet.UnitLoadGini(ring)}
+}
+
+// comparePairs requires the exact same pair set (same VS, same
+// endpoints, same load) from two executors.
+func comparePairs(t *testing.T, label string, ref, got outcome) {
+	t.Helper()
+	// L and C are converge-cast float sums: each executor's randomized
+	// report placement shapes the merge tree, so the totals agree only
+	// up to summation rounding. Lmin is a min — exact everywhere.
+	if d := math.Abs(got.global.L - ref.global.L); d > 1e-9*math.Abs(ref.global.L) {
+		t.Errorf("%s: global L %v, want %v", label, got.global.L, ref.global.L)
+	}
+	if d := math.Abs(got.global.C - ref.global.C); d > 1e-9*math.Abs(ref.global.C) {
+		t.Errorf("%s: global C %v, want %v", label, got.global.C, ref.global.C)
+	}
+	if got.global.Lmin != ref.global.Lmin {
+		t.Errorf("%s: global Lmin %v, want %v", label, got.global.Lmin, ref.global.Lmin)
+	}
+	if len(got.pairs) != len(ref.pairs) {
+		t.Errorf("%s: %d pairs, want %d", label, len(got.pairs), len(ref.pairs))
+	}
+	for k, load := range ref.pairs {
+		gl, ok := got.pairs[k]
+		if !ok {
+			t.Errorf("%s: missing pair %s", label, k)
+			continue
+		}
+		if gl != load {
+			t.Errorf("%s: pair %s load %v, want %v", label, k, gl, load)
+		}
+	}
+	for k := range got.pairs {
+		if _, ok := ref.pairs[k]; !ok {
+			t.Errorf("%s: extra pair %s", label, k)
+		}
+	}
+	if got.unassigned != ref.unassigned {
+		t.Errorf("%s: %d unassigned offers, want %d", label, got.unassigned, ref.unassigned)
+	}
+	// The final per-node loads are identical (same transfers applied),
+	// but executors apply them in different orders, so each node's VS
+	// slice — and hence the float summation order inside TotalLoad —
+	// can differ. Equality up to summation rounding is the exact claim.
+	if d := math.Abs(got.gini - ref.gini); d > 1e-9 {
+		t.Errorf("%s: final unit-load gini %v, want %v (Δ=%g)", label, got.gini, ref.gini, d)
+	}
+}
+
+func TestCrossExecutorEquivalence(t *testing.T) {
+	cases := []struct {
+		name         string
+		seed         int64
+		nodes, vsPer int
+		eps          float64
+	}{
+		{"small-tight", 11, 96, 4, 0},
+		{"medium", 12, 192, 5, 0.05},
+		{"loose-slack", 13, 128, 3, 0.2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := core.Config{Epsilon: tc.eps, RendezvousThreshold: -1}
+			ref := runBalancer(t, tc.seed, tc.nodes, tc.vsPer, cfg)
+			if len(ref.pairs) == 0 {
+				t.Fatalf("fixture too tame: reference round paired nothing")
+			}
+			comparePairs(t, "protocol", ref, runProtocol(t, tc.seed, tc.nodes, tc.vsPer, cfg, false))
+			comparePairs(t, "protocol+empty-fault-plan", ref, runProtocol(t, tc.seed, tc.nodes, tc.vsPer, cfg, true))
+			comparePairs(t, "livenet", ref, runLivenet(t, tc.seed, tc.nodes, tc.vsPer, cfg))
+		})
+	}
+}
+
+// TestEmptyFaultPlanIsPassthrough pins the stronger protocol-level
+// claim: attaching an empty fault plan changes nothing at all — the
+// two runs' outcomes match field for field, not just as pair sets.
+func TestEmptyFaultPlanIsPassthrough(t *testing.T) {
+	cfg := core.Config{Epsilon: 0.05, RendezvousThreshold: -1}
+	plain := runProtocol(t, 21, 128, 4, cfg, false)
+	faulty := runProtocol(t, 21, 128, 4, cfg, true)
+	if plain.global != faulty.global || plain.unassigned != faulty.unassigned || plain.gini != faulty.gini {
+		t.Fatalf("empty plan diverged: %+v vs %+v", plain, faulty)
+	}
+	comparePairs(t, "empty-plan", plain, faulty)
+}

@@ -1,0 +1,150 @@
+package lbnode
+
+import "p2plb/internal/core"
+
+// HandoffPhase is a Handoff machine's position in the two-phase
+// virtual-server transfer.
+type HandoffPhase int
+
+// Handoff phases.
+const (
+	// PhaseAssigning: the rendezvous point's assignment notification is
+	// on its way to the heavy endpoint.
+	PhaseAssigning HandoffPhase = iota
+	// PhasePreparing: the heavy endpoint is reserving the move at the
+	// light endpoint.
+	PhasePreparing
+	// PhaseCommitting: the reservation is confirmed; the transfer copy
+	// is on its way.
+	PhaseCommitting
+	// PhaseDone: the first commit copy arrived and the transfer was
+	// applied.
+	PhaseDone
+	// PhaseAborted: an endpoint was found dead or no longer owning the
+	// VS, or a phase exhausted its retries; no ring state changed.
+	PhaseAborted
+)
+
+// HandoffOp is the outgoing action a Handoff transition asks its
+// executor to perform.
+type HandoffOp int
+
+// Handoff executor actions.
+const (
+	// OpNone: nothing to do (duplicate, late or already-settled input).
+	OpNone HandoffOp = iota
+	// OpPrepare: send the prepare/reservation message heavy → light.
+	OpPrepare
+	// OpCommit: send the commit/transfer message heavy → light.
+	OpCommit
+	// OpAbort: settle the pairing as aborted and release its resources.
+	OpAbort
+)
+
+// Handoff is the two-phase virtual-server transfer machine for one
+// pairing (§3.4 VST):
+//
+//	assign:  the rendezvous point notifies the heavy endpoint; on
+//	         (deduplicated) arrival the endpoints are validated and the
+//	         reservation starts.
+//	prepare: From reserves the move at To; acceptance is the ack. No
+//	         state changes yet.
+//	commit:  From ships the VS; the FIRST commit copy to arrive applies
+//	         the transfer (TransferReceived returns true exactly once),
+//	         so the VS moves exactly once and is never double-hosted.
+//	abort:   any phase failing — retries exhausted, or an endpoint dead
+//	         or no longer owning the VS — settles the pairing aborted;
+//	         nothing was touched before commit, so the VS stays with its
+//	         sender and load is conserved.
+//
+// The machine holds no transport state: the executor owns delivery,
+// acknowledgement, retransmission and timing, feeds arrivals and
+// failures in, and performs the returned HandoffOp. A machine settles
+// exactly once (PhaseDone or PhaseAborted); every transition after that
+// returns OpNone.
+type Handoff struct {
+	// Pair is the pairing under transfer.
+	Pair  core.Pair
+	phase HandoffPhase
+}
+
+// NewHandoff starts the machine for one emitted pairing.
+func NewHandoff(p core.Pair) *Handoff { return &Handoff{Pair: p} }
+
+// Phase returns the machine's current phase.
+func (h *Handoff) Phase() HandoffPhase { return h.phase }
+
+// Settled reports whether the handoff has reached a terminal phase.
+func (h *Handoff) Settled() bool {
+	return h.phase == PhaseDone || h.phase == PhaseAborted
+}
+
+// AssignReceived runs at the heavy endpoint when the assignment
+// notification first arrives. ack=false means the endpoint is dead and
+// stays silent (no acknowledgement at all); otherwise the arrival is
+// acknowledged and op is the follow-up: OpPrepare to start the
+// reservation, OpAbort when an endpoint is already invalid, OpNone for
+// a copy that lost a race with settlement.
+func (h *Handoff) AssignReceived() (ack bool, op HandoffOp) {
+	if !h.Pair.From.Alive {
+		return false, OpNone
+	}
+	if h.Settled() {
+		return true, OpNone
+	}
+	if h.Pair.VS.Owner != h.Pair.From || !h.Pair.To.Alive {
+		h.phase = PhaseAborted
+		return true, OpAbort
+	}
+	h.phase = PhasePreparing
+	return true, OpPrepare
+}
+
+// Fail records that the current phase's delivery exhausted its retries
+// (assign, prepare or commit). It aborts an unsettled handoff; a
+// settled one is left alone.
+func (h *Handoff) Fail() HandoffOp {
+	if h.Settled() {
+		return OpNone
+	}
+	h.phase = PhaseAborted
+	return OpAbort
+}
+
+// PrepareReceived runs at the light endpoint when a prepare copy
+// arrives: the reservation is accepted (acknowledged) only while the
+// receiver is alive and the pairing can still commit. A dead receiver
+// is silent, draining the sender's retries into an abort.
+func (h *Handoff) PrepareReceived() bool {
+	return h.Pair.To.Alive && !h.Settled()
+}
+
+// PrepareAcked runs at the heavy endpoint once the reservation is
+// confirmed: re-validate the sender side and move to commit, or abort
+// if the sender died (its VSs were absorbed by ring successors) or lost
+// the VS between prepare and commit.
+func (h *Handoff) PrepareAcked() HandoffOp {
+	if h.Settled() {
+		return OpNone
+	}
+	if !h.Pair.From.Alive || h.Pair.VS.Owner != h.Pair.From {
+		h.phase = PhaseAborted
+		return OpAbort
+	}
+	h.phase = PhaseCommitting
+	return OpCommit
+}
+
+// TransferReceived runs at the light endpoint when a commit copy
+// arrives. It returns true exactly once — for the first copy that finds
+// the pairing still valid — and the executor must then apply the
+// transfer (the single point where ring state changes hands). Late,
+// duplicate or invalid copies return false and must not be
+// acknowledged.
+func (h *Handoff) TransferReceived() bool {
+	if h.Settled() || !h.Pair.To.Alive || h.Pair.VS.Owner != h.Pair.From {
+		return false
+	}
+	h.phase = PhaseDone
+	return true
+}

@@ -1,17 +1,22 @@
-// Package livenet executes the load-balancing sweeps as real concurrent
-// computations: one goroutine per KT node, channels as the parent-child
-// links. Where internal/sim provides deterministic virtual time and
-// internal/protocol explicit message events, livenet demonstrates that
-// the algorithm itself is order-independent — the LBI merge is
-// commutative and associative, and rendezvous pairing depends only on
-// list contents — so a truly parallel execution (tens of thousands of
-// goroutines on however many cores exist) produces the same balancing
-// outcome as the sequential ones. The tests run under the race detector
-// and cross-check results against core.Balancer.
+// Package livenet is the concurrent executor of the load-balancing
+// protocol: it drives the same per-KT-node state machines as the
+// deterministic-sim executor (internal/protocol) — lbnode.LBICollect,
+// lbnode.VSACollect, lbnode.Classify, lbnode.DepositVSA — but over real
+// goroutines and channels instead of simulated message events: one
+// goroutine per KT subtree in the top levels, channels as the
+// parent-child links. There is no algorithm copy here; the sweeps are a
+// generic concurrent tree reduction (reduce) with the machine
+// transitions as the per-node evaluation, so livenet is the multi-core
+// fast path for very large rings by construction. The machines are pure
+// and the LBI merge is commutative and associative, so the parallel
+// execution's outcome is interleaving-independent; the tests run under
+// the race detector and cross-check results against both core.Balancer
+// and the protocol executor (see the cross-executor equivalence test in
+// internal/lbnode).
 //
-// The converge-casts are classic parallel tree reductions; on a
-// multi-core host they also serve as the fast path for very large
-// simulated systems.
+// The live execution has no virtual clock and no fault plan: delivery
+// is the Go memory model, so acks, retries and epoch timers — transport
+// concerns of the sim executor — have no counterpart here.
 package livenet
 
 import (
@@ -23,6 +28,7 @@ import (
 	"p2plb/internal/chord"
 	"p2plb/internal/core"
 	"p2plb/internal/ktree"
+	"p2plb/internal/lbnode"
 	"p2plb/internal/par"
 	"p2plb/internal/stats"
 )
@@ -35,49 +41,60 @@ import (
 // of stacks for no extra parallelism.
 const spawnDepth = 8
 
-// AggregateLBI performs the bottom-up LBI converge-cast concurrently:
-// KT nodes in the top spawnDepth levels run as goroutines reading their
-// children's results from channels; deeper subtrees reduce sequentially.
-func AggregateLBI(tree *ktree.Tree, inbox map[*ktree.Node][]core.LBI) core.LBI {
-	var sequential func(n *ktree.Node) core.LBI
-	sequential = func(n *ktree.Node) core.LBI {
-		var agg core.LBI
-		for _, rep := range inbox[n] {
-			agg = agg.Merge(rep)
-		}
+// reduce runs a bottom-up converge-cast over the KT tree: eval sees one
+// node together with its children's already-reduced results (in child
+// order) and returns the node's own result. KT nodes in the top
+// spawnDepth levels run as goroutines reading their children's results
+// from channels; deeper subtrees reduce sequentially. eval runs exactly
+// once per node, from a single goroutine at a time, so driving a pure
+// lbnode machine inside it needs no locking.
+func reduce[T any](root *ktree.Node, eval func(n *ktree.Node, children []T) T) T {
+	var sequential func(n *ktree.Node) T
+	sequential = func(n *ktree.Node) T {
+		var children []T
 		for _, c := range n.Children {
 			if c != nil {
-				agg = agg.Merge(sequential(c))
+				children = append(children, sequential(c))
 			}
 		}
-		return agg
+		return eval(n, children)
 	}
-	var spawn func(n *ktree.Node) <-chan core.LBI
-	spawn = func(n *ktree.Node) <-chan core.LBI {
-		out := make(chan core.LBI, 1)
+	var spawn func(n *ktree.Node) <-chan T
+	spawn = func(n *ktree.Node) <-chan T {
+		out := make(chan T, 1)
 		if n.Depth >= spawnDepth {
 			go func() { out <- sequential(n) }()
 			return out
 		}
-		var childCh []<-chan core.LBI
+		var childCh []<-chan T
 		for _, c := range n.Children {
 			if c != nil {
 				childCh = append(childCh, spawn(c))
 			}
 		}
 		go func() {
-			var agg core.LBI
-			for _, rep := range inbox[n] {
-				agg = agg.Merge(rep)
+			children := make([]T, len(childCh))
+			for i, ch := range childCh {
+				children[i] = <-ch
 			}
-			for _, ch := range childCh {
-				agg = agg.Merge(<-ch)
-			}
-			out <- agg
+			out <- eval(n, children)
 		}()
 		return out
 	}
-	return <-spawn(tree.Root())
+	return <-spawn(root)
+}
+
+// AggregateLBI performs the bottom-up LBI converge-cast concurrently,
+// one lbnode.LBICollect epoch per KT node: local reports seed the
+// epoch, children's subtree aggregates merge through the machine.
+func AggregateLBI(tree *ktree.Tree, inbox map[*ktree.Node][]core.LBI) core.LBI {
+	return reduce(tree.Root(), func(n *ktree.Node, children []core.LBI) core.LBI {
+		col := lbnode.NewLBICollect(inbox[n], len(children))
+		for _, sub := range children {
+			col.ChildReply(sub)
+		}
+		return col.Aggregate()
+	})
 }
 
 // pairSink collects pairings emitted by concurrently running
@@ -96,63 +113,22 @@ func (s *pairSink) add(ps []core.Pair) {
 	s.mu.Unlock()
 }
 
-// SweepVSA performs the bottom-up VSA sweep concurrently: each KT node
-// goroutine merges its children's unpaired lists with its own inbox,
-// pairs when it qualifies as a rendezvous point (threshold reached, or
-// root), and sends leftovers upward. It returns all pairings and the
-// list left unpaired at the root. The inbox PairLists are consumed.
+// SweepVSA performs the bottom-up VSA sweep concurrently, one
+// lbnode.VSACollect epoch per KT node: children's unpaired lists merge
+// through the machine, rendezvous points (threshold reached, or the
+// root) pair and emit, and leftovers flow upward. It returns all
+// pairings and the list left unpaired at the root. The inbox PairLists
+// are consumed.
 func SweepVSA(tree *ktree.Tree, inbox map[*ktree.Node]*core.PairList, lmin float64, threshold int) ([]core.Pair, *core.PairList) {
-	if threshold == 0 {
-		threshold = core.DefaultRendezvousThreshold
-	}
 	sink := &pairSink{}
-	process := func(n *ktree.Node, lists *core.PairList) {
-		isRoot := n.Parent == nil
-		if lists.Size() > 0 && (isRoot || (threshold > 0 && lists.Size() >= threshold)) {
-			sink.add(lists.Pair(lmin))
+	left := reduce(tree.Root(), func(n *ktree.Node, children []*core.PairList) *core.PairList {
+		col := lbnode.NewVSACollect(inbox[n], len(children))
+		for _, sub := range children {
+			col.ChildReply(sub)
 		}
-	}
-	var sequential func(n *ktree.Node) *core.PairList
-	sequential = func(n *ktree.Node) *core.PairList {
-		lists := inbox[n]
-		if lists == nil {
-			lists = &core.PairList{}
-		}
-		for _, c := range n.Children {
-			if c != nil {
-				lists.Merge(sequential(c))
-			}
-		}
-		process(n, lists)
-		return lists
-	}
-	var spawn func(n *ktree.Node) <-chan *core.PairList
-	spawn = func(n *ktree.Node) <-chan *core.PairList {
-		out := make(chan *core.PairList, 1)
-		if n.Depth >= spawnDepth {
-			go func() { out <- sequential(n) }()
-			return out
-		}
-		var childCh []<-chan *core.PairList
-		for _, c := range n.Children {
-			if c != nil {
-				childCh = append(childCh, spawn(c))
-			}
-		}
-		go func() {
-			lists := inbox[n]
-			if lists == nil {
-				lists = &core.PairList{}
-			}
-			for _, ch := range childCh {
-				lists.Merge(<-ch)
-			}
-			process(n, lists)
-			out <- lists
-		}()
-		return out
-	}
-	left := <-spawn(tree.Root())
+		sink.add(col.Rendezvous(n.Parent == nil, threshold, lmin))
+		return col.Lists()
+	})
 	return sink.pairs, left
 }
 
@@ -216,18 +192,9 @@ func RunRound(ring *chord.Ring, tree *ktree.Tree, cfg core.Config, seed int64) (
 	// Classification in parallel across nodes.
 	states := make([]*core.NodeState, len(alive))
 	par.For(len(alive), 0, func(i int) {
-		states[i] = core.ClassifyNode(alive[i], global, cfg.Epsilon, cfg.Subset)
+		states[i] = lbnode.Classify(alive[i], global, cfg.Epsilon, cfg.Subset)
 	})
-	for _, st := range states {
-		switch st.Class {
-		case core.Heavy:
-			res.HeavyBefore++
-		case core.Light:
-			res.LightBefore++
-		default:
-			res.NeutralBefore++
-		}
-	}
+	res.HeavyBefore, res.LightBefore, res.NeutralBefore = lbnode.Tally(states)
 
 	// VSA inboxes (sequential RNG), concurrent sweep.
 	vsaInbox := make(map[*ktree.Node]*core.PairList)
@@ -252,14 +219,7 @@ func RunRound(ring *chord.Ring, tree *ktree.Tree, cfg core.Config, seed int64) (
 			pl = &core.PairList{}
 			vsaInbox[leaf] = pl
 		}
-		switch st.Class {
-		case core.Light:
-			pl.AddLight(st.Deficit, st.Node, 0)
-		case core.Heavy:
-			for _, offer := range st.Offers {
-				pl.AddOffer(offer, st.Node, 0)
-			}
-		}
+		lbnode.DepositVSA(pl, st, 0)
 	}
 	pairs, left := SweepVSA(tree, vsaInbox, global.Lmin, cfg.RendezvousThreshold)
 	// The sink collects pairs in goroutine-completion order; sort them
@@ -273,17 +233,7 @@ func RunRound(ring *chord.Ring, tree *ktree.Tree, cfg core.Config, seed int64) (
 		ring.Transfer(p.VS, p.To)
 		res.MovedLoad += p.Load
 	}
-	for _, n := range alive {
-		st := core.ClassifyNode(n, global, cfg.Epsilon, cfg.Subset)
-		switch st.Class {
-		case core.Heavy:
-			res.HeavyAfter++
-		case core.Light:
-			res.LightAfter++
-		default:
-			res.NeutralAfter++
-		}
-	}
+	res.HeavyAfter, res.LightAfter, res.NeutralAfter = lbnode.Census(ring.Nodes(), global, cfg.Epsilon, cfg.Subset)
 	if _, err := tree.Repair(); err != nil {
 		return nil, err
 	}

@@ -2,23 +2,28 @@
 // messages on the discrete-event engine — the fully distributed
 // counterpart of core.Balancer's closed-form round.
 //
-// core.Balancer computes each phase's outcome and completion time with
-// max-plus recursions over the tree, which is exact when nothing fails
-// mid-round. This package instead runs the real message flow: LBI
-// collection is a pull converge-cast with per-child timeouts, the global
-// tuple is disseminated hop by hop, proximity-aware advertisements are
-// published through routed Chord lookups, the VSA converge-cast carries
-// the actual lists, rendezvous points emit pair notifications as
-// messages, and transfers occupy simulated time. Because every step is
-// an event, nodes may crash *during* a round: dead subtrees simply stop
-// replying, parents proceed after a timeout with partial data, and the
-// next round (after tree repair) picks up the remainder — the
-// fault-tolerance behaviour §3.1-3.4 argue for and defer to future
-// work to evaluate.
+// The per-node protocol logic itself — LBI epoch merging, the
+// classification roster, VSA rendezvous pairing, the two-phase VST
+// handoff — lives in internal/lbnode as pure state machines shared with
+// the concurrent executor (internal/livenet). This package is the
+// deterministic-sim driver for those machines: it owns everything the
+// machines deliberately do not — delivery through sim.Engine (so a
+// fault plan can interfere), per-child epoch timers, sequence-numbered
+// acks with retransmission, and the per-round scratch recycling. LBI
+// collection is a pull converge-cast with per-child timeouts, the
+// global tuple is disseminated hop by hop, proximity-aware
+// advertisements are published through routed Chord lookups, the VSA
+// converge-cast carries the actual lists, rendezvous points emit pair
+// notifications as messages, and transfers occupy simulated time.
+// Because every step is an event, nodes may crash *during* a round:
+// dead subtrees simply stop replying, parents proceed after a timeout
+// with partial data, and the next round (after tree repair) picks up
+// the remainder — the fault-tolerance behaviour §3.1-3.4 argue for and
+// defer to future work to evaluate.
 //
-// Both executions share the classification and pairing rules through
-// core's exported primitives, so on a static ring they produce
-// equivalent balancing outcomes.
+// All three executions share the classification and pairing rules
+// through lbnode and core's exported primitives, so on a static ring
+// they produce equivalent balancing outcomes.
 //
 // Every message is sent through sim.Engine.Deliver, so a fault plan
 // (internal/faults) can drop, duplicate or delay it. The flows that
@@ -40,6 +45,7 @@ import (
 	"p2plb/internal/chord"
 	"p2plb/internal/core"
 	"p2plb/internal/ktree"
+	"p2plb/internal/lbnode"
 	"p2plb/internal/sim"
 	"p2plb/internal/stats"
 )
@@ -196,7 +202,7 @@ type round struct {
 	lbiInbox map[*ktree.Node][]core.LBI
 	global   core.LBI
 
-	states     map[*chord.Node]*core.NodeState
+	roster     *lbnode.Roster // dissemination endpoint state (over scratch's states map)
 	vsaInbox   map[*ktree.Node]*core.PairList
 	leafOfVS   map[*chord.VServer]*ktree.Node
 	publishing int // outstanding routed publications
@@ -257,7 +263,7 @@ func (r *Runner) StartRound(done func(*Result, error)) error {
 		timeout:    timeout,
 		start:      r.eng.Now(),
 		lbiInbox:   sc.lbiInbox,
-		states:     sc.states,
+		roster:     lbnode.NewRoster(sc.states),
 		vsaInbox:   sc.vsaInbox,
 		leafOfVS:   sc.leafOfVS,
 		seen:       make(map[uint64]bool),
@@ -453,37 +459,37 @@ func (rd *round) depositLBIReports() {
 	}
 }
 
-// collectLBI pulls <L, C, Lmin> from n's subtree: leaves answer from
-// their inbox; internal nodes query children, merge replies, and give
-// up on silent children after the timeout.
+// liveChildren counts n's occupied child slots — the number of subtrees
+// an epoch will query (dead subtrees are queried too; they just never
+// reply and the timeout absorbs them).
+func liveChildren(n *ktree.Node) int {
+	children := 0
+	for _, c := range n.Children {
+		if c != nil {
+			children++
+		}
+	}
+	return children
+}
+
+// collectLBI pulls <L, C, Lmin> from n's subtree, driving one
+// lbnode.LBICollect epoch per node: leaves answer from their inbox;
+// internal nodes query children, merge replies through the machine, and
+// give up on silent children after the timeout.
 func (rd *round) collectLBI(n *ktree.Node, cb func(core.LBI)) {
 	if !rd.alive(n) {
 		return // a dead KT node never replies
 	}
-	var agg core.LBI
-	for _, rep := range rd.lbiInbox[n] {
-		agg = agg.Merge(rep)
-	}
-	if n.IsLeaf() {
-		cb(agg)
+	col := lbnode.NewLBICollect(rd.lbiInbox[n], liveChildren(n))
+	if col.Done() {
+		cb(col.Aggregate())
 		return
-	}
-	eng := rd.r.eng
-	pending := 0
-	closed := false
-	finish := func() {
-		if closed {
-			return
-		}
-		closed = true
-		cb(agg)
 	}
 	for _, c := range n.Children {
 		if c == nil {
 			continue
 		}
 		c := c
-		pending++
 		edge := rd.r.tree.EdgeLatency(c)
 		// Both directions are acked and retransmitted: a lost pull would
 		// silence the child's whole subtree, compounding per level, so
@@ -492,13 +498,10 @@ func (rd *round) collectLBI(n *ktree.Node, cb func(core.LBI)) {
 		rd.reliable(MsgCollectDown, hostIdx(n), hostIdx(c), edge, func() bool {
 			rd.collectLBI(c, func(sub core.LBI) {
 				rd.reliable(MsgReportUp, hostIdx(c), hostIdx(n), edge, func() bool {
-					if closed {
-						return true // reply after epoch closed: absorbed, still acked
-					}
-					agg = agg.Merge(sub)
-					pending--
-					if pending == 0 {
-						finish()
+					// A reply after the epoch closed is absorbed by the
+					// machine — still acked so the child stops resending.
+					if col.ChildReply(sub) {
+						cb(col.Aggregate())
 					}
 					return true
 				}, nil)
@@ -506,14 +509,10 @@ func (rd *round) collectLBI(n *ktree.Node, cb func(core.LBI)) {
 			return true
 		}, nil)
 	}
-	if pending == 0 {
-		finish()
-		return
-	}
-	eng.Schedule(rd.epochWindow(n), func() {
-		if !closed {
-			rd.res.TimedOutChildren += pending
-			finish()
+	rd.r.eng.Schedule(rd.epochWindow(n), func() {
+		if timedOut, expired := col.Expire(); expired {
+			rd.res.TimedOutChildren += timedOut
+			cb(col.Aggregate())
 		}
 	})
 }
@@ -553,13 +552,13 @@ func (rd *round) disseminate(n *ktree.Node) {
 }
 
 // classifyAndPublish runs classification on a node the first time the
-// global tuple reaches it, and publishes its VSA information.
+// global tuple reaches it (the roster machine absorbs duplicates), and
+// publishes its VSA information.
 func (rd *round) classifyAndPublish(node *chord.Node) {
-	if _, ok := rd.states[node]; ok || !node.Alive {
+	st, ok := rd.roster.Classify(node, rd.global, rd.cfg().Epsilon, rd.cfg().Subset)
+	if !ok {
 		return
 	}
-	st := core.ClassifyNode(node, rd.global, rd.cfg().Epsilon, rd.cfg().Subset)
-	rd.states[node] = st
 	rd.res.NodesClassified++
 	if t := rd.r.eng.Now() - rd.start; t > rd.res.TimeLBIDisseminate {
 		rd.res.TimeLBIDisseminate = t
@@ -614,14 +613,7 @@ func (rd *round) deposit(vs *chord.VServer, st *core.NodeState, group uint64) {
 		pl = &core.PairList{}
 		rd.vsaInbox[leaf] = pl
 	}
-	switch st.Class {
-	case core.Light:
-		pl.AddLight(st.Deficit, st.Node, group)
-	case core.Heavy:
-		for _, vs := range st.Offers {
-			pl.AddOffer(vs, st.Node, group)
-		}
-	}
+	lbnode.DepositVSA(pl, st, group)
 }
 
 // publishDone decrements the outstanding-publication counter; at zero,
@@ -636,18 +628,7 @@ func (rd *round) publishDone() {
 
 // startVSA runs the VSA converge-cast from the root.
 func (rd *round) startVSA() {
-	var heavy, light, neutral int
-	for _, st := range rd.states {
-		switch st.Class {
-		case core.Heavy:
-			heavy++
-		case core.Light:
-			light++
-		default:
-			neutral++
-		}
-	}
-	rd.res.HeavyBefore, rd.res.LightBefore, rd.res.NeutralBefore = heavy, light, neutral
+	rd.res.HeavyBefore, rd.res.LightBefore, rd.res.NeutralBefore = rd.roster.Census()
 
 	rd.collectVSA(rd.r.tree.Root(), true, func(left *core.PairList) {
 		rd.res.TimeVSAComplete = rd.r.eng.Now() - rd.start
@@ -658,60 +639,36 @@ func (rd *round) startVSA() {
 	})
 }
 
-// collectVSA is the bottom-up VSA sweep: children reply with their
-// unpaired lists; rendezvous points (threshold reached, or the root)
-// pair and notify, and everything unpaired flows upward.
+// collectVSA is the bottom-up VSA sweep, one lbnode.VSACollect epoch
+// per node: children reply with their unpaired lists; rendezvous points
+// (threshold reached, or the root) pair and notify, and everything
+// unpaired flows upward.
 func (rd *round) collectVSA(n *ktree.Node, isRoot bool, cb func(*core.PairList)) {
 	if !rd.alive(n) {
 		return
 	}
-	eng := rd.r.eng
-	lists := rd.vsaInbox[n]
-	if lists == nil {
-		lists = &core.PairList{}
-	}
+	col := lbnode.NewVSACollect(rd.vsaInbox[n], liveChildren(n))
 	finishNode := func() {
-		threshold := rd.cfg().RendezvousThreshold
-		if threshold == 0 {
-			threshold = core.DefaultRendezvousThreshold
+		for _, p := range col.Rendezvous(isRoot, rd.cfg().RendezvousThreshold, rd.global.Lmin) {
+			rd.emitPair(n, p)
 		}
-		if lists.Size() > 0 && (isRoot || (threshold > 0 && lists.Size() >= threshold)) {
-			for _, p := range lists.Pair(rd.global.Lmin) {
-				rd.emitPair(n, p)
-			}
-		}
-		cb(lists)
+		cb(col.Lists())
 	}
-	if n.IsLeaf() {
+	if col.Done() {
 		finishNode()
 		return
-	}
-	pending := 0
-	closed := false
-	closeEpoch := func() {
-		if closed {
-			return
-		}
-		closed = true
-		finishNode()
 	}
 	for _, c := range n.Children {
 		if c == nil {
 			continue
 		}
 		c := c
-		pending++
 		edge := rd.r.tree.EdgeLatency(c)
 		rd.reliable(MsgVSADown, hostIdx(n), hostIdx(c), edge, func() bool {
 			rd.collectVSA(c, false, func(sub *core.PairList) {
 				rd.reliable(MsgVSAUp, hostIdx(c), hostIdx(n), edge, func() bool {
-					if closed {
-						return true
-					}
-					lists.Merge(sub)
-					pending--
-					if pending == 0 {
-						closeEpoch()
+					if col.ChildReply(sub) {
+						finishNode()
 					}
 					return true
 				}, nil)
@@ -719,14 +676,10 @@ func (rd *round) collectVSA(n *ktree.Node, isRoot bool, cb func(*core.PairList))
 			return true
 		}, nil)
 	}
-	if pending == 0 {
-		closeEpoch()
-		return
-	}
-	eng.Schedule(rd.epochWindow(n), func() {
-		if !closed {
-			rd.res.TimedOutChildren += pending
-			closeEpoch()
+	rd.r.eng.Schedule(rd.epochWindow(n), func() {
+		if timedOut, expired := col.Expire(); expired {
+			rd.res.TimedOutChildren += timedOut
+			finishNode()
 		}
 	})
 }
@@ -741,98 +694,76 @@ func (rd *round) emitPair(rendezvous *ktree.Node, p core.Pair) {
 	costFrom := rd.r.ring.Latency(host, p.From) + 1
 	costTo := rd.r.ring.Latency(host, p.To) + 1
 	rd.outstandingTransfers++
-	h := &handoff{rd: rd, rendezvous: rendezvous, p: p, assignedAt: eng.Now() - rd.start}
+	h := &handoff{rd: rd, rendezvous: rendezvous, m: lbnode.NewHandoff(p), assignedAt: eng.Now() - rd.start}
 	eng.Deliver(MsgAssign, host.Index, p.To.Index, costTo, func() {})
 	rd.reliable(MsgAssign, host.Index, p.From.Index, costFrom,
 		func() bool {
-			if !p.From.Alive {
-				return false // a dead heavy endpoint is silent
-			}
-			h.begin()
-			return true
+			// ack=false models a dead heavy endpoint: silent, no ack.
+			ack, op := h.m.AssignReceived()
+			h.apply(op)
+			return ack
 		},
 		func(ok bool) {
 			if !ok {
-				h.abort()
+				h.apply(h.m.Fail())
 			}
 		})
 }
 
-// handoff is the two-phase virtual-server transfer for one pairing:
-//
-//	prepare: From reserves the move at To (reliable; the ack is the
-//	         reservation confirmation). No state changes yet.
-//	commit:  From ships the VS (reliable); the FIRST commit copy to
-//	         arrive applies ring.Transfer — the dedup set makes
-//	         duplicated or retransmitted commits idempotent, so the VS
-//	         is moved exactly once and never double-hosted.
-//	abort:   any phase exhausting its retries, or an endpoint found
-//	         dead/no-longer-owning, settles the pairing as aborted; no
-//	         ring state was touched before commit, so the VS simply
-//	         stays with its sender — never lost, load conserved.
-//
-// Each handoff settles exactly once (complete or abort), releasing the
-// round's outstanding-transfer slot.
+// handoff drives one lbnode.Handoff machine — the two-phase
+// virtual-server transfer for one pairing — over the reliable-delivery
+// transport. The machine owns the phase logic (validate, reserve,
+// exactly-once commit, abort); this wrapper owns delivery, retries and
+// the round's accounting. Each handoff settles exactly once (PhaseDone
+// or PhaseAborted), releasing the round's outstanding-transfer slot.
 type handoff struct {
 	rd         *round
 	rendezvous *ktree.Node
-	p          core.Pair
+	m          *lbnode.Handoff
 	assignedAt sim.Time
-	settled    bool
+	cost       sim.Time // heavy → light latency, fixed at prepare time
 }
 
-func (h *handoff) abort() {
-	if h.settled {
-		return
+// apply performs the outgoing action a machine transition requested.
+func (h *handoff) apply(op lbnode.HandoffOp) {
+	switch op {
+	case lbnode.OpPrepare:
+		h.prepare()
+	case lbnode.OpCommit:
+		h.commit()
+	case lbnode.OpAbort:
+		h.rd.res.AbortedTransfers++
+		h.rd.transferDone()
 	}
-	h.settled = true
-	h.rd.res.AbortedTransfers++
-	h.rd.transferDone()
 }
 
-// begin runs at the heavy endpoint when the (deduplicated) assignment
-// notification first arrives: validate, then reserve.
-func (h *handoff) begin() {
-	p := h.p
-	if h.settled {
-		return
-	}
-	if !p.From.Alive || p.VS.Owner != p.From || !p.To.Alive {
-		h.abort()
-		return
-	}
-	cost := h.rd.r.ring.Latency(p.From, p.To) + 1
-	h.rd.reliable(MsgPrepare, p.From.Index, p.To.Index, cost,
-		func() bool {
-			// The reservation: accepted only while the receiver is alive
-			// and the pairing can still commit. A dead receiver is silent
-			// and the sender's retries drain into an abort.
-			return h.p.To.Alive && !h.settled
-		},
+// prepare sends the reservation heavy → light. Acceptance (the machine
+// while the receiver is alive and the pairing unsettled) is the ack; a
+// dead receiver is silent and the sender's retries drain into an abort.
+func (h *handoff) prepare() {
+	p := h.m.Pair
+	h.cost = h.rd.r.ring.Latency(p.From, p.To) + 1
+	h.rd.reliable(MsgPrepare, p.From.Index, p.To.Index, h.cost,
+		func() bool { return h.m.PrepareReceived() },
 		func(ok bool) {
 			if !ok {
-				h.abort()
+				h.apply(h.m.Fail())
 				return
 			}
-			h.commit(cost)
+			h.apply(h.m.PrepareAcked())
 		})
 }
 
-// commit runs at the sender once the reservation is acknowledged.
-func (h *handoff) commit(cost sim.Time) {
-	p := h.p
-	if h.settled {
-		return
-	}
-	if !p.From.Alive || p.VS.Owner != p.From {
-		// The sender died (its VSs were absorbed by ring successors) or
-		// lost the VS between prepare and commit.
-		h.abort()
-		return
-	}
-	h.rd.reliable(MsgTransfer, p.From.Index, p.To.Index, cost,
+// commit ships the VS once the reservation is acknowledged. The FIRST
+// commit copy the machine accepts applies ring.Transfer — the dedup set
+// plus the machine's exactly-once contract make duplicated or
+// retransmitted commits idempotent, so the VS is moved exactly once and
+// never double-hosted.
+func (h *handoff) commit() {
+	p := h.m.Pair
+	h.rd.reliable(MsgTransfer, p.From.Index, p.To.Index, h.cost,
 		func() bool {
-			if h.settled || !p.To.Alive || p.VS.Owner != p.From {
+			if !h.m.TransferReceived() {
 				return false
 			}
 			h.complete()
@@ -840,16 +771,16 @@ func (h *handoff) commit(cost sim.Time) {
 		},
 		func(ok bool) {
 			if !ok {
-				h.abort()
+				h.apply(h.m.Fail())
 			}
 		})
 }
 
-// complete applies the transfer at the receiver on the first commit
-// copy — the single point where ring state changes hands.
+// complete applies the transfer at the receiver on the commit copy the
+// machine accepted — the single point where ring state changes hands.
 func (h *handoff) complete() {
 	rd := h.rd
-	p := h.p
+	p := h.m.Pair
 	rd.r.ring.Transfer(p.VS, p.To)
 	hops := rd.transferCost(p.From, p.To)
 	rd.res.Assignments = append(rd.res.Assignments, core.Assignment{
@@ -861,7 +792,6 @@ func (h *handoff) complete() {
 	if t := rd.r.eng.Now() - rd.start; t > rd.res.TimeVSTComplete {
 		rd.res.TimeVSTComplete = t
 	}
-	h.settled = true
 	rd.transferDone()
 }
 
@@ -884,22 +814,8 @@ func (rd *round) maybeFinish() {
 	if !rd.vsaDone || rd.outstandingTransfers > 0 {
 		return
 	}
-	var heavy, light, neutral int
-	for _, n := range rd.r.ring.Nodes() {
-		if !n.Alive {
-			continue
-		}
-		st := core.ClassifyNode(n, rd.global, rd.cfg().Epsilon, rd.cfg().Subset)
-		switch st.Class {
-		case core.Heavy:
-			heavy++
-		case core.Light:
-			light++
-		default:
-			neutral++
-		}
-	}
-	rd.res.HeavyAfter, rd.res.LightAfter, rd.res.NeutralAfter = heavy, light, neutral
+	rd.res.HeavyAfter, rd.res.LightAfter, rd.res.NeutralAfter =
+		lbnode.Census(rd.r.ring.Nodes(), rd.global, rd.cfg().Epsilon, rd.cfg().Subset)
 	if _, err := rd.r.tree.Repair(); err != nil {
 		rd.done(nil, err)
 		return

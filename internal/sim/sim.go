@@ -1,12 +1,19 @@
 // Package sim provides a deterministic discrete-event simulation engine.
 //
-// The whole protocol stack — Chord lookups, K-nary tree maintenance,
-// heartbeats, LBI aggregation epochs, VSA converge-casts and virtual
-// server transfers — runs as events on this engine. Virtual time is
-// measured in the same latency units as topology distances (an
-// intradomain underlay hop is 1 unit). Events with equal timestamps fire
-// in scheduling order, so a run is a pure function of the seed and the
-// initial event set.
+// The engine is the substrate of the deterministic executor: Chord
+// lookups, K-nary tree maintenance, heartbeats, and internal/protocol's
+// message-level rounds (which drive the runtime-agnostic state machines
+// of internal/lbnode) all run as events on it, with delivery, loss and
+// retransmission expressed through Deliver and an optional
+// MessageFilter. The concurrent executor (internal/livenet) runs the
+// same lbnode machines without the engine — it has no virtual clock and
+// no fault layer; the engine's only role there is seeding the ring
+// builder's RNG.
+//
+// Virtual time is measured in the same latency units as topology
+// distances (an intradomain underlay hop is 1 unit). Events with equal
+// timestamps fire in scheduling order, so a run is a pure function of
+// the seed and the initial event set.
 package sim
 
 import (
@@ -67,9 +74,8 @@ type Engine struct {
 	mMsg       map[string]msgCounters
 	queueDepth *metrics.Histogram
 
-	// Optional fault layer. nil means every Deliver call transmits one
-	// copy with no extra latency — byte-identical to the pre-fault
-	// CountMessage+Schedule pair.
+	// Optional fault layer. nil means every Deliver call transmits
+	// exactly one copy with no extra latency.
 	filter  MessageFilter
 	dropped map[string]int64
 }
@@ -240,12 +246,13 @@ func (e *Engine) Filter() MessageFilter { return e.filter }
 // src to node dst (physical-node indexes, NoNode when inapplicable):
 // each transmitted copy is counted like CountMessage and its callback
 // scheduled after cost plus the copy's extra latency. Without a filter
-// exactly one copy is sent with no extra latency — the same count and
-// the same event the CountMessage+Schedule pair produced, so a
-// fault-free run is byte-identical to one that never calls Deliver.
-// With a filter, the filter decides: no copies means the message is
-// dropped (counted per kind in DroppedCount, fn never runs), several
-// copies model duplication, extra latency models jitter.
+// exactly one copy is sent with no extra latency, so fault-free runs
+// stay deterministic down to the event sequence. With a filter, the
+// filter decides: no copies means the message is dropped (counted per
+// kind in DroppedCount, fn never runs), several copies model
+// duplication, extra latency models jitter. Delivery, loss and retry
+// are executor concerns — the lbnode state machines this transports
+// messages for never see the engine.
 func (e *Engine) Deliver(kind string, src, dst int, cost Time, fn func()) {
 	if e.filter == nil {
 		e.CountMessage(kind, cost)
