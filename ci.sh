@@ -40,8 +40,13 @@ go test -race ./internal/livenet/ ./internal/par/ ./internal/sim/ ./internal/ktr
 
 echo "== lbbench scale smoke (time-boxed)"
 # A small scale run keeps the O(log n) maintenance path honest without
-# the full 1M-VS sweep; the timeout catches accidental re-quadratization
-# (the 20k build takes ~10 ms — 120 s means something is badly wrong).
+# the full 1M-VS sweep. Each size now runs the whole lifecycle — ring
+# build, tree build, a full balancing round, ~1% node churn, an
+# incremental Repair, and CheckInvariants on the repaired tree — and
+# fails hard if the compressed tree regresses in shape (height >
+# 2·log2(V) or more than 5 KT nodes per VS). The timeout catches
+# accidental re-quadratization (the 20k run takes well under a second —
+# 120 s means something is badly wrong).
 tmp=$(mktemp -d)
 timeout 120 go run ./cmd/lbbench -bench scale -scalesizes 20000 -out "$tmp"
 rm -rf "$tmp"

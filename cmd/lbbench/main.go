@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -228,31 +229,44 @@ func runBench(name, out string, seed int64, nodes, graphs int, scaleSizes []int)
 var faultRates = []float64{0, 0.05, 0.10, 0.20, 0.30}
 
 // scaleRow is one system size of the scale benchmark: wall times for
-// the setup phases that used to be quadratic, plus one closed-form
-// balancing round where affordable.
+// the setup phases that used to be quadratic, one closed-form balancing
+// round, and an incremental-repair probe after churning ~1% of the
+// nodes. Skipped phases report -1 (never omitted, so a round that
+// balances every heavy node — heavy_after 0 — stays distinguishable
+// from a round that never ran).
 type scaleRow struct {
-	VServers int   `json:"vservers"`
-	Nodes    int   `json:"nodes"`
-	BuildMS  int64 `json:"ring_build_ms"`
-	LoadMS   int64 `json:"load_assign_ms"`
-	TreeMS   int64 `json:"tree_build_ms"`
-	// RoundMS is -1 when the balancing round is skipped (largest sizes:
-	// the round is super-linear in pair-list work and would dominate the
-	// maintenance numbers this benchmark pins).
-	RoundMS     int64 `json:"round_ms"`
-	HeavyBefore int   `json:"heavy_before,omitempty"`
-	HeavyAfter  int   `json:"heavy_after,omitempty"`
-	TreeNodes   int   `json:"tree_nodes"`
-	TreeHeight  int   `json:"tree_height"`
+	VServers      int   `json:"vservers"`
+	Nodes         int   `json:"nodes"`
+	BuildMS       int64 `json:"ring_build_ms"`
+	LoadMS        int64 `json:"load_assign_ms"`
+	TreeMS        int64 `json:"tree_build_ms"`
+	RoundMS       int64 `json:"round_ms"`
+	HeavyBefore   int   `json:"heavy_before"`
+	HeavyAfter    int   `json:"heavy_after"`
+	TreeNodes     int   `json:"tree_nodes"`
+	TreeHeight    int   `json:"tree_height"`
+	RepairMS      int64 `json:"repair_ms"`
+	RepairChanges int   `json:"repair_changes"`
 }
 
-// maxRoundVSs caps the system size at which the scale benchmark also
-// runs a full balancing round.
-const maxRoundVSs = 256_000
+// checkTreeShape guards the compressed-tree regression: with chain
+// collapse the KT tree must stay near log2(V) deep and near-linear in
+// V, never the identifier-bits-deep, ~22-nodes-per-VS shape the naive
+// dyadic recursion produced.
+func checkTreeShape(tree *ktree.Tree, vss int) error {
+	if lim := 2 * int(math.Ceil(math.Log2(float64(vss)))); tree.Height() > lim {
+		return fmt.Errorf("scale %d VSs: tree height %d exceeds 2*log2(V) = %d — chain collapse regressed", vss, tree.Height(), lim)
+	}
+	if lim := 5 * vss; tree.NumNodes() > lim {
+		return fmt.Errorf("scale %d VSs: %d KT nodes exceeds 5/VS — compression regressed", vss, tree.NumNodes())
+	}
+	return nil
+}
 
 // runScale times ring population (the bulk path exp.Build uses), load
-// assignment, and K-nary tree construction at each requested
-// virtual-server count, with 5 VSs per node as everywhere in the paper.
+// assignment, K-nary tree construction, one full balancing round, and
+// an incremental repair after churn, at each requested virtual-server
+// count, with 5 VSs per node as everywhere in the paper.
 func runScale(seed int64, scaleSizes []int) ([]scaleRow, error) {
 	const vsPerNode = 5
 	profile := workload.GnutellaProfile()
@@ -269,7 +283,8 @@ func runScale(seed int64, scaleSizes []int) ([]scaleRow, error) {
 			func(int) topology.NodeID { return -1 },
 			func(int) float64 { return profile.Sample(eng.Rand()) })
 		row := scaleRow{VServers: ring.NumVServers(), Nodes: n,
-			BuildMS: time.Since(start).Milliseconds(), RoundMS: -1}
+			BuildMS: time.Since(start).Milliseconds(),
+			RoundMS: -1, HeavyBefore: -1, HeavyAfter: -1, RepairMS: -1}
 
 		mu := float64(n) * 100
 		model := workload.Gaussian{Mu: mu, Sigma: mu / 200}
@@ -290,24 +305,48 @@ func runScale(seed int64, scaleSizes []int) ([]scaleRow, error) {
 		row.TreeMS = time.Since(start).Milliseconds()
 		row.TreeNodes = tree.NumNodes()
 		row.TreeHeight = tree.Height()
-
-		if vsCount <= maxRoundVSs {
-			bal, err := core.NewBalancer(ring, tree, core.Config{Epsilon: 0.05})
-			if err != nil {
-				return nil, err
-			}
-			start = time.Now()
-			res, err := bal.RunRound()
-			if err != nil {
-				return nil, err
-			}
-			row.RoundMS = time.Since(start).Milliseconds()
-			row.HeavyBefore = res.HeavyBefore
-			row.HeavyAfter = res.HeavyAfter
+		if err := checkTreeShape(tree, ring.NumVServers()); err != nil {
+			return nil, err
 		}
+
+		bal, err := core.NewBalancer(ring, tree, core.Config{Epsilon: 0.05})
+		if err != nil {
+			return nil, err
+		}
+		start = time.Now()
+		res, err := bal.RunRound()
+		if err != nil {
+			return nil, err
+		}
+		row.RoundMS = time.Since(start).Milliseconds()
+		row.HeavyBefore = res.HeavyBefore
+		row.HeavyAfter = res.HeavyAfter
+
+		// Incremental-repair probe: churn ~1% of the nodes, repair, and
+		// verify the repaired tree is structurally sound.
+		churn := n / 100
+		if churn < 1 {
+			churn = 1
+		}
+		alive := ring.AliveNodes()
+		for i := 0; i < churn && i < len(alive); i++ {
+			ring.RemoveNode(alive[i])
+		}
+		for i := 0; i < churn; i++ {
+			ring.AddNode(-1, profile.Sample(eng.Rand()), vsPerNode)
+		}
+		start = time.Now()
+		changes, err := tree.Repair()
+		if err != nil {
+			return nil, err
+		}
+		row.RepairMS = time.Since(start).Milliseconds()
+		row.RepairChanges = changes
+		tree.CheckInvariants()
+
 		rows = append(rows, row)
-		fmt.Printf("lbbench: scale %d VSs: build %d ms, loads %d ms, tree %d ms (%d KT nodes), round %d ms\n",
-			row.VServers, row.BuildMS, row.LoadMS, row.TreeMS, row.TreeNodes, row.RoundMS)
+		fmt.Printf("lbbench: scale %d VSs: build %d ms, loads %d ms, tree %d ms (%d KT nodes, height %d), round %d ms, repair %d ms (%d changes)\n",
+			row.VServers, row.BuildMS, row.LoadMS, row.TreeMS, row.TreeNodes, row.TreeHeight, row.RoundMS, row.RepairMS, row.RepairChanges)
 	}
 	return rows, nil
 }

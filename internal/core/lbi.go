@@ -64,9 +64,6 @@ func (b *Balancer) aggregateLBI() lbiOutcome {
 			agg = agg.Merge(r)
 		}
 		for _, c := range n.Children {
-			if c == nil {
-				continue
-			}
 			childAgg, childReady := up(c)
 			edge := b.tree.EdgeLatency(c)
 			eng.CountMessage(MsgLBIReport, edge)
@@ -83,9 +80,6 @@ func (b *Balancer) aggregateLBI() lbiOutcome {
 	down = func(n *ktree.Node, t sim.Time) sim.Time {
 		last := t
 		for _, c := range n.Children {
-			if c == nil {
-				continue
-			}
 			edge := b.tree.EdgeLatency(c)
 			eng.CountMessage(MsgLBIDisperse, edge)
 			if end := down(c, t+edge); end > last {

@@ -205,9 +205,6 @@ func (b *Balancer) runVSA(states []*NodeState, global LBI, start sim.Time) vsaOu
 		ready := publishEnd
 		lists.merge(inbox[n])
 		for _, c := range n.Children {
-			if c == nil {
-				continue
-			}
 			childLists, childReady := up(c)
 			// Every child sends one (possibly empty) epoch report; empty
 			// reports still synchronize the converge-cast.

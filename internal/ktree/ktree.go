@@ -6,30 +6,65 @@
 // root is responsible for the whole space. A KT node is planted in the
 // virtual server that owns the center point of its region (the center is
 // its DHT key). A KT node whose region is completely covered by its
-// hosting virtual server's region is a leaf; otherwise its region is
-// split into K equal parts, one per child, and the partitioning recurses.
-// Because leaves tile the identifier space and a leaf's region always
-// lies inside its hosting virtual server's region, every virtual server
-// hosts at least one leaf — the property the reporting protocols rely on
-// ("it is guaranteed that a KT leaf node will be planted in each virtual
-// server").
+// hosting virtual server's region is a leaf; otherwise the region is
+// split into K near-equal parts and the partitioning recurses — with two
+// compressions that keep the materialized tree near log_K(N) deep and
+// ~2 nodes per virtual server instead of the ~22/VS a naive dyadic
+// recursion produces:
 //
-// The tree is soft state: Build constructs it from the current ring and
-// Repair reconciles an existing tree with a changed ring (churned
-// membership, transferred virtual servers), exactly like the paper's
-// periodic per-node region checks, heartbeats and pruning — compressed
-// into one deterministic sweep per maintenance round. Planting a KT node
-// costs one DHT lookup; in this simulator the lookup is resolved against
-// the consistent ring and charged an estimated O(log₂ V) hop cost (the
-// chord package demonstrates routed lookups match this).
+//   - Chain collapse (path compression): when a split leaves exactly one
+//     part that still straddles an ownership boundary, no intermediate KT
+//     node is materialized for it — the split descends directly into that
+//     part, accumulating the covered side-parts as leaves of the current
+//     node. A region straddling a single VS boundary therefore costs a
+//     handful of leaves instead of a 32-deep single-child chain.
+//   - Leaf merging: adjacent sibling leaves owned by the same virtual
+//     server coalesce into one leaf with the concatenated region.
+//
+// Children of an internal node are stored as a dense slice (no nil
+// slots) that tiles the node's region in clockwise order; because of the
+// compressions a node can have more than K children, but never fewer
+// than two. Leaves still tile the identifier circle and a leaf's region
+// always lies inside its hosting virtual server's region, so every
+// virtual server hosts at least one leaf — the property the reporting
+// protocols rely on ("it is guaranteed that a KT leaf node will be
+// planted in each virtual server").
+//
+// Nodes are bump-allocated from chunked arenas (pointer-stable arrays of
+// Node plus shared child-pointer blocks), so building a million-VS tree
+// performs thousands of allocations instead of millions.
+//
+// The tree is soft state, maintained incrementally: the tree subscribes
+// to its ring as a chord.Listener and records the identifier arcs whose
+// ownership changed (joins and departures; VS transfers move a virtual
+// server between physical nodes without changing ownership, so they
+// dirty nothing). Repair re-decomposes only the subtrees overlapping
+// those dirty arcs and splices untouched subtrees back unchanged —
+// exactly the paper's periodic per-node region checks, heartbeats and
+// pruning, compressed into one deterministic sweep per maintenance
+// round. A repair on a quiescent ring sends no messages at all.
+//
+// Build and the dirty portions of Repair shard across cores per subtree
+// (internal/par): the decomposition only reads the ring through
+// Successor — a pure binary search with no caches — and all message
+// accounting and leaf bookkeeping are accumulated per worker and applied
+// serially in deterministic task order, so the sharded sweep needs no
+// randomness and produces bit-identical trees regardless of core count.
+//
+// Planting a KT node costs one DHT lookup; in this simulator the lookup
+// is resolved against the consistent ring and charged an estimated
+// O(log₂ V) hop cost (the chord package demonstrates routed lookups
+// match this).
 package ktree
 
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"p2plb/internal/chord"
 	"p2plb/internal/ident"
+	"p2plb/internal/par"
 	"p2plb/internal/sim"
 )
 
@@ -39,13 +74,26 @@ const (
 	MsgHeartbeat = "ktree.heartbeat" // parent probing a child during repair
 )
 
+// maxPendingArcs bounds the dirty-arc journal. Past this much churn a
+// full rebuild is cheaper than tracking, so the journal overflows into
+// a whole-tree repair.
+const maxPendingArcs = 1 << 16
+
+// nodeChunk and childChunk size the arena blocks: nodes and
+// child-pointer slots are carved from blocks this large, so allocation
+// count is ~N/4096 instead of ~N.
+const (
+	nodeChunk  = 4096
+	childChunk = 8192
+)
+
 // Node is one KT node.
 type Node struct {
 	Region   ident.Region   // responsible portion of the identifier space
 	Key      ident.ID       // center of Region; the DHT key it is planted at
 	Host     *chord.VServer // virtual server currently hosting this KT node
 	Parent   *Node          // nil for the root
-	Children []*Node        // nil for leaves; length K with possible nil slots (empty child regions)
+	Children []*Node        // nil for leaves; dense, >= 2 entries, tiling Region clockwise
 	Depth    int            // root is 0
 }
 
@@ -60,15 +108,40 @@ type Tree struct {
 	leavesByVS map[*chord.VServer][]*Node
 	numNodes   int
 	numLeaves  int
-	height     int
+	depthCount []int // depthCount[d] = number of nodes at depth d
+
+	// taskDepth is the depth at which Build/Repair hand subtrees to
+	// parallel workers: shallow levels run serially, producing at most
+	// ~k^taskDepth independent subtree tasks.
+	taskDepth int
+
+	// Dirty-arc journal fed by the ring listener callbacks. overflow
+	// means the journal was dropped and the next Repair reconciles the
+	// whole tree.
+	pending  []ident.Region
+	overflow bool
 }
 
 // New returns an unbuilt tree of branching factor k (k >= 2) over ring.
+// The tree subscribes to the ring so that churn between repairs is
+// tracked as dirty identifier arcs.
 func New(ring *chord.Ring, k int) (*Tree, error) {
 	if k < 2 {
 		return nil, fmt.Errorf("ktree: branching factor %d < 2", k)
 	}
-	return &Tree{ring: ring, k: k, leavesByVS: make(map[*chord.VServer][]*Node)}, nil
+	// Aim for ~256 parallel subtree tasks: the smallest d with k^d >= 256.
+	d := 0
+	for n := 1; n < 256; n *= k {
+		d++
+	}
+	t := &Tree{
+		ring:       ring,
+		k:          k,
+		taskDepth:  d,
+		leavesByVS: make(map[*chord.VServer][]*Node),
+	}
+	ring.Subscribe(t)
+	return t, nil
 }
 
 // K returns the branching factor.
@@ -84,7 +157,14 @@ func (t *Tree) NumNodes() int { return t.numNodes }
 func (t *Tree) NumLeaves() int { return t.numLeaves }
 
 // Height returns the maximum depth of any node (root = 0).
-func (t *Tree) Height() int { return t.height }
+func (t *Tree) Height() int {
+	for d := len(t.depthCount) - 1; d >= 0; d-- {
+		if t.depthCount[d] > 0 {
+			return d
+		}
+	}
+	return 0
+}
 
 // Ring returns the underlying ring.
 func (t *Tree) Ring() *chord.Ring { return t.ring }
@@ -92,6 +172,48 @@ func (t *Tree) Ring() *chord.Ring { return t.ring }
 // LeavesOf returns the KT leaves planted in vs. The returned slice must
 // not be modified.
 func (t *Tree) LeavesOf(vs *chord.VServer) []*Node { return t.leavesByVS[vs] }
+
+// VSAdded implements chord.Listener: a join changes ownership exactly on
+// the new virtual server's region.
+func (t *Tree) VSAdded(vs *chord.VServer) {
+	if t.root == nil || t.overflow {
+		return // unbuilt trees start from Build, which reconciles everything
+	}
+	t.markDirty(t.ring.RegionOf(vs))
+}
+
+// VSRemoved implements chord.Listener: a departure changes ownership
+// exactly on the departed region, which the absorbing successor now
+// owns. The successor's post-removal region is a superset of the
+// departed arc, so marking it dirty is always safe.
+func (t *Tree) VSRemoved(vs *chord.VServer) {
+	if t.root == nil || t.overflow {
+		return
+	}
+	succ := t.ring.Successor(vs.ID)
+	if succ == nil {
+		// Ring emptied out; the next Build/Repair handles it wholesale.
+		t.overflow = true
+		t.pending = nil
+		return
+	}
+	t.markDirty(t.ring.RegionOf(succ))
+}
+
+// VSTransferred implements chord.Listener: moving a virtual server
+// between physical nodes changes no key ownership, and Host pointers
+// reference the VServer object itself, so the tree structure is
+// untouched — nothing becomes dirty.
+func (t *Tree) VSTransferred(vs *chord.VServer, from, to *chord.Node) {}
+
+func (t *Tree) markDirty(r ident.Region) {
+	if len(t.pending) >= maxPendingArcs {
+		t.overflow = true
+		t.pending = nil
+		return
+	}
+	t.pending = append(t.pending, r)
+}
 
 // plantCost estimates the cost, in latency units, of the DHT lookup that
 // plants a KT node: O(log₂ V) overlay hops.
@@ -101,168 +223,6 @@ func (t *Tree) plantCost() sim.Time {
 		return 1
 	}
 	return sim.Time(math.Ceil(math.Log2(float64(v))))
-}
-
-// Build constructs the tree from scratch against the current ring state.
-// Each planted node is charged one MsgPlant message.
-func (t *Tree) Build() error {
-	if t.ring.NumVServers() == 0 {
-		return fmt.Errorf("ktree: cannot build over an empty ring")
-	}
-	t.root = nil
-	t.leavesByVS = make(map[*chord.VServer][]*Node)
-	t.numNodes, t.numLeaves, t.height = 0, 0, 0
-	t.root = t.plant(ident.Full(), nil, 0)
-	t.grow(t.root)
-	return nil
-}
-
-// plant creates a KT node for region at the given depth and resolves its
-// hosting virtual server.
-func (t *Tree) plant(region ident.Region, parent *Node, depth int) *Node {
-	key := region.Center()
-	host := t.ring.Successor(key)
-	t.ring.Engine().CountMessage(MsgPlant, t.plantCost())
-	n := &Node{Region: region, Key: key, Host: host, Parent: parent, Depth: depth}
-	t.numNodes++
-	if depth > t.height {
-		t.height = depth
-	}
-	return n
-}
-
-// grow recursively expands n until every branch ends in a leaf.
-func (t *Tree) grow(n *Node) {
-	if t.coveredByHost(n) {
-		t.markLeaf(n)
-		return
-	}
-	parts := n.Region.Split(t.k)
-	n.Children = make([]*Node, t.k)
-	for i, part := range parts {
-		if part.IsEmpty() {
-			continue
-		}
-		child := t.plant(part, n, n.Depth+1)
-		n.Children[i] = child
-		t.grow(child)
-	}
-}
-
-func (t *Tree) coveredByHost(n *Node) bool {
-	return t.ring.RegionOf(n.Host).Covers(n.Region)
-}
-
-func (t *Tree) markLeaf(n *Node) {
-	n.Children = nil
-	t.numLeaves++
-	t.leavesByVS[n.Host] = append(t.leavesByVS[n.Host], n)
-}
-
-// Repair reconciles the tree with the current ring after membership or
-// hosting changes, in a single top-down sweep: every node's host is
-// re-resolved (a changed host is a re-plant), nodes whose region became
-// covered are collapsed to leaves (their subtrees pruned), and nodes
-// whose region is no longer covered grow fresh children. This mirrors
-// the paper's periodic checking: the tree reconstructs top-down in
-// O(log_K N) rounds after any failure. It returns the number of KT nodes
-// replanted, grown, or pruned, and charges one MsgHeartbeat per
-// parent-child probe plus one MsgPlant per re-planted or new node.
-func (t *Tree) Repair() (changes int, err error) {
-	if t.ring.NumVServers() == 0 {
-		return 0, fmt.Errorf("ktree: cannot repair over an empty ring")
-	}
-	if t.root == nil {
-		if err := t.Build(); err != nil {
-			return 0, err
-		}
-		return t.numNodes, nil
-	}
-	t.leavesByVS = make(map[*chord.VServer][]*Node)
-	t.numNodes, t.numLeaves, t.height = 0, 0, 0
-	changes = t.repairNode(t.root)
-	return changes, nil
-}
-
-func (t *Tree) repairNode(n *Node) (changes int) {
-	t.numNodes++
-	if n.Depth > t.height {
-		t.height = n.Depth
-	}
-	// Re-resolve the host: the old one may have left the ring or lost
-	// ownership of the key.
-	host := t.ring.Successor(n.Key)
-	if host != n.Host {
-		n.Host = host
-		t.ring.Engine().CountMessage(MsgPlant, t.plantCost())
-		changes++
-	}
-	if t.coveredByHost(n) {
-		if n.Children != nil {
-			changes += t.countSubtreeNodes(n) - 1 // pruned descendants
-			n.Children = nil
-		}
-		t.numLeaves++
-		t.leavesByVS[n.Host] = append(t.leavesByVS[n.Host], n)
-		return changes
-	}
-	if n.Children == nil {
-		// A former leaf whose region is no longer covered: grow.
-		before := t.numNodes
-		t.growRepair(n)
-		changes += t.numNodes - before
-		return changes
-	}
-	// Internal node: probe each child (heartbeat), grow missing ones.
-	parts := n.Region.Split(t.k)
-	for i, part := range parts {
-		if part.IsEmpty() {
-			n.Children[i] = nil
-			continue
-		}
-		if n.Children[i] == nil {
-			child := t.plant(part, n, n.Depth+1)
-			n.Children[i] = child
-			t.growRepair0(child)
-			changes += t.countSubtreeNodes(child)
-			continue
-		}
-		t.ring.Engine().CountMessage(MsgHeartbeat, t.heartbeatCost(n, n.Children[i]))
-		changes += t.repairNode(n.Children[i])
-	}
-	return changes
-}
-
-// growRepair expands a former leaf in place during repair.
-func (t *Tree) growRepair(n *Node) {
-	parts := n.Region.Split(t.k)
-	n.Children = make([]*Node, t.k)
-	for i, part := range parts {
-		if part.IsEmpty() {
-			continue
-		}
-		child := t.plant(part, n, n.Depth+1)
-		n.Children[i] = child
-		t.growRepair0(child)
-	}
-}
-
-func (t *Tree) growRepair0(n *Node) {
-	if t.coveredByHost(n) {
-		t.markLeaf(n)
-		return
-	}
-	t.growRepair(n)
-}
-
-func (t *Tree) countSubtreeNodes(n *Node) int {
-	count := 1
-	for _, c := range n.Children {
-		if c != nil {
-			count += t.countSubtreeNodes(c)
-		}
-	}
-	return count
 }
 
 // heartbeatCost is the latency of one parent→child probe.
@@ -279,7 +239,100 @@ func (t *Tree) EdgeLatency(n *Node) sim.Time {
 	return t.ring.Latency(n.Host.Owner, n.Parent.Host.Owner) + 1
 }
 
-// Walk visits every node in depth-first preorder.
+// owner returns the virtual server owning id. Ring.Successor is a pure
+// binary search (no position-cache writes), so owner is safe to call
+// from parallel build workers.
+func (t *Tree) owner(id ident.ID) *chord.VServer { return t.ring.Successor(id) }
+
+// coveredBy returns the single virtual server owning every identifier
+// of r, or nil if ownership is split. Ownership changes exactly at
+// virtual-server identifiers (when more than one exists), so r is
+// single-owner iff no VS identifier lies in r short of its last key —
+// and Successor(r.Start) is the only candidate. When no boundary cuts
+// r, that same successor owns all of it.
+func (t *Tree) coveredBy(r ident.Region) *chord.VServer {
+	first := t.owner(r.Start)
+	if t.ring.NumVServers() > 1 && r.Width > 1 && r.Start.Dist(first.ID) < r.Width-1 {
+		return nil
+	}
+	return first
+}
+
+// Build constructs the tree from scratch against the current ring state.
+// Each planted node is charged one MsgPlant message.
+func (t *Tree) Build() error {
+	if t.ring.NumVServers() == 0 {
+		return fmt.Errorf("ktree: cannot build over an empty ring")
+	}
+	t.pending, t.overflow = nil, false
+	t.root = nil
+	t.leavesByVS = make(map[*chord.VServer][]*Node)
+	t.numNodes, t.numLeaves = 0, 0
+	t.depthCount = t.depthCount[:0]
+
+	b := t.newBuilder(nil)
+	full := ident.Full()
+	if host := t.coveredBy(full); host != nil {
+		root := b.newLeaf(full, host, nil)
+		t.root = root
+	} else {
+		root := b.newInternal(full, nil)
+		t.root = root
+		b.process(root, true, 0)
+	}
+	t.runTasks(b)
+	t.apply(b)
+	return nil
+}
+
+// Repair reconciles the tree with the current ring after membership or
+// hosting changes. Only subtrees overlapping the dirty identifier arcs
+// recorded since the last Build/Repair are re-decomposed; untouched
+// subtrees are spliced back verbatim, so a repair on a quiescent ring
+// makes no changes and sends no messages. Along dirty paths every
+// surviving child is probed (one MsgHeartbeat, priced against the
+// child's re-resolved current host) and every created or re-planted
+// node is charged one MsgPlant. It returns the number of KT nodes
+// planted, re-planted, or pruned.
+func (t *Tree) Repair() (changes int, err error) {
+	if t.ring.NumVServers() == 0 {
+		return 0, fmt.Errorf("ktree: cannot repair over an empty ring")
+	}
+	if t.root == nil || t.overflow {
+		if err := t.Build(); err != nil {
+			return 0, err
+		}
+		return t.numNodes, nil
+	}
+	dirty := newDirtySet(t.pending)
+	t.pending = nil
+	if dirty.empty() {
+		return 0, nil
+	}
+	b := t.newBuilder(dirty)
+	full := ident.Full()
+	if host := t.coveredBy(full); host != nil {
+		// The whole ring has a single owner: the tree is one root leaf.
+		if t.root.IsLeaf() && t.root.Host == host {
+			return 0, nil
+		}
+		old := t.root
+		t.root = b.newLeaf(full, host, nil)
+		b.discardSubtree(old)
+	} else {
+		if t.root.IsLeaf() {
+			// Former single-VS ring grew: the root leaf becomes internal.
+			b.removeLeaf(t.root)
+			b.changes++ // the root is re-planted as an internal node
+		}
+		b.process(t.root, false, 0)
+	}
+	t.runTasks(b)
+	return t.apply(b), nil
+}
+
+// Walk visits every node in depth-first preorder (clockwise child
+// order).
 func (t *Tree) Walk(visit func(*Node)) {
 	if t.root == nil {
 		return
@@ -288,19 +341,526 @@ func (t *Tree) Walk(visit func(*Node)) {
 	rec = func(n *Node) {
 		visit(n)
 		for _, c := range n.Children {
-			if c != nil {
-				rec(c)
-			}
+			rec(c)
 		}
 	}
 	rec(t.root)
 }
 
-// CheckInvariants panics if the tree violates its structural invariants:
-// the root covers the full space, children partition their parent's
-// region, every leaf is covered by its host's region, every node's host
-// owns its key, leaf bookkeeping matches the tree, and every live
-// virtual server hosts at least one leaf.
+// ---------------------------------------------------------------------
+// Dirty-arc bookkeeping
+
+// dirtySet is a sorted, disjoint set of linear identifier intervals
+// [lo, hi) over [0, SpaceSize); wrap-around arcs are split in two.
+type dirtySet struct {
+	lo, hi []uint64
+}
+
+func newDirtySet(arcs []ident.Region) *dirtySet {
+	type iv struct{ lo, hi uint64 }
+	var ivs []iv
+	for _, r := range arcs {
+		if r.IsEmpty() {
+			continue
+		}
+		lo := uint64(uint32(r.Start))
+		hi := lo + r.Width
+		if hi <= ident.SpaceSize {
+			ivs = append(ivs, iv{lo, hi})
+		} else {
+			ivs = append(ivs, iv{lo, ident.SpaceSize}, iv{0, hi - ident.SpaceSize})
+		}
+	}
+	sort.Slice(ivs, func(i, j int) bool {
+		if ivs[i].lo != ivs[j].lo {
+			return ivs[i].lo < ivs[j].lo
+		}
+		return ivs[i].hi < ivs[j].hi
+	})
+	d := &dirtySet{}
+	for _, v := range ivs {
+		if n := len(d.hi); n > 0 && v.lo <= d.hi[n-1] {
+			if v.hi > d.hi[n-1] {
+				d.hi[n-1] = v.hi
+			}
+			continue
+		}
+		d.lo = append(d.lo, v.lo)
+		d.hi = append(d.hi, v.hi)
+	}
+	return d
+}
+
+func (d *dirtySet) empty() bool { return len(d.lo) == 0 }
+
+func (d *dirtySet) overlapsLinear(lo, hi uint64) bool {
+	i := sort.Search(len(d.hi), func(i int) bool { return d.hi[i] > lo })
+	return i < len(d.lo) && d.lo[i] < hi
+}
+
+// overlaps reports whether the region shares an identifier with any
+// dirty interval. A nil set (full rebuild) is treated as all-dirty.
+func (d *dirtySet) overlaps(r ident.Region) bool {
+	if d == nil {
+		return true
+	}
+	if r.IsEmpty() || d.empty() {
+		return false
+	}
+	lo := uint64(uint32(r.Start))
+	hi := lo + r.Width
+	if hi <= ident.SpaceSize {
+		return d.overlapsLinear(lo, hi)
+	}
+	return d.overlapsLinear(lo, ident.SpaceSize) || d.overlapsLinear(0, hi-ident.SpaceSize)
+}
+
+// ---------------------------------------------------------------------
+// Arenas
+
+// arena bump-allocates nodes and child-pointer slices from chunked
+// blocks. Chunks never move, so *Node pointers are stable for the
+// lifetime of the tree. Each builder (serial phase or parallel worker)
+// owns one arena, so allocation takes no locks.
+type arena struct {
+	nodes []Node
+	used  int
+	kids  []*Node
+	kused int
+}
+
+func (a *arena) node() *Node {
+	if a.used == len(a.nodes) {
+		a.nodes = make([]Node, nodeChunk)
+		a.used = 0
+	}
+	n := &a.nodes[a.used]
+	a.used++
+	return n
+}
+
+// childSlice carves a zero-length slice with capacity n from the
+// current child block.
+func (a *arena) childSlice(n int) []*Node {
+	if a.kused+n > len(a.kids) {
+		size := childChunk
+		if n > size {
+			size = n
+		}
+		a.kids = make([]*Node, size)
+		a.kused = 0
+	}
+	s := a.kids[a.kused : a.kused : a.kused+n]
+	a.kused += n
+	return s
+}
+
+// ---------------------------------------------------------------------
+// Builder: the shared Build/Repair machinery
+
+// piece is one element of a region's compressed decomposition: a leaf
+// (host != nil) or a subtree still straddling ownership boundaries.
+type piece struct {
+	region ident.Region
+	host   *chord.VServer
+}
+
+// leafEvent interleaves serially created leaves with deferred subtree
+// tasks so the final leavesByVS append order is the clockwise DFS
+// order, independent of worker count.
+type leafEvent struct {
+	leaf *Node
+	task int // valid when leaf == nil
+}
+
+// task is a subtree handed to a parallel worker: expand a fresh node,
+// or repair an existing one.
+type task struct {
+	node  *Node
+	fresh bool
+}
+
+// builder accumulates one Build/Repair pass's allocations, message
+// tallies, and leaf bookkeeping. The serial phase uses one builder;
+// each parallel subtree task gets its own, and the results merge in
+// deterministic task order.
+type builder struct {
+	t     *Tree
+	ar    arena
+	dirty *dirtySet // nil during Build (nothing can be reused)
+
+	// tasks is non-nil only on the serial builder: subtrees rooted at
+	// taskDepth are deferred here instead of recursed into.
+	tasks []task
+
+	plants  int64
+	hbCount int64
+	hbCost  sim.Time
+	changes int
+
+	nodesDelta  int
+	leavesDelta int
+	depthDelta  []int
+
+	events     []leafEvent
+	removed    []*Node
+	taskLeaves [][]leafEvent // per-task leaf events, filled by runTasks
+
+	// Depth-indexed scratch for decompose, so steady-state decomposition
+	// allocates nothing.
+	bufs  [][]piece
+	parts []ident.Region
+	hosts []*chord.VServer
+	left  []piece
+	mid   []piece
+	right []piece
+}
+
+func (t *Tree) newBuilder(dirty *dirtySet) *builder {
+	b := &builder{t: t, dirty: dirty}
+	b.tasks = make([]task, 0, 16)
+	return b
+}
+
+func (b *builder) workerClone() *builder {
+	return &builder{t: b.t, dirty: b.dirty}
+}
+
+func (b *builder) bumpDepth(d, delta int) {
+	for len(b.depthDelta) <= d {
+		b.depthDelta = append(b.depthDelta, 0)
+	}
+	b.depthDelta[d] += delta
+}
+
+func (b *builder) newLeaf(r ident.Region, host *chord.VServer, parent *Node) *Node {
+	n := b.ar.node()
+	n.Region, n.Key, n.Host, n.Parent = r, r.Center(), host, parent
+	if parent != nil {
+		n.Depth = parent.Depth + 1
+	}
+	b.plants++
+	b.changes++
+	b.nodesDelta++
+	b.leavesDelta++
+	b.bumpDepth(n.Depth, 1)
+	b.events = append(b.events, leafEvent{leaf: n})
+	return n
+}
+
+func (b *builder) newInternal(r ident.Region, parent *Node) *Node {
+	n := b.ar.node()
+	n.Region, n.Key, n.Parent = r, r.Center(), parent
+	n.Host = b.t.owner(n.Key)
+	if parent != nil {
+		n.Depth = parent.Depth + 1
+	}
+	b.plants++
+	b.changes++
+	b.nodesDelta++
+	b.bumpDepth(n.Depth, 1)
+	return n
+}
+
+func (b *builder) removeLeaf(n *Node) {
+	b.leavesDelta--
+	b.removed = append(b.removed, n)
+}
+
+// discardSubtree prunes an entire old subtree: every node counts as one
+// change and leaves unregister from leavesByVS.
+func (b *builder) discardSubtree(n *Node) {
+	b.changes++
+	b.nodesDelta--
+	b.bumpDepth(n.Depth, -1)
+	if n.IsLeaf() {
+		b.removeLeaf(n)
+		return
+	}
+	for _, c := range n.Children {
+		b.discardSubtree(c)
+	}
+}
+
+// schedule recurses into a subtree, or defers it as a parallel task
+// when the serial phase reaches taskDepth.
+func (b *builder) schedule(n *Node, fresh bool, lvl int) {
+	if b.tasks != nil && n.Depth >= b.t.taskDepth {
+		b.events = append(b.events, leafEvent{task: len(b.tasks)})
+		b.tasks = append(b.tasks, task{node: n, fresh: fresh})
+		return
+	}
+	b.process(n, fresh, lvl+1)
+}
+
+// process decomposes internal node n and (re)materializes its children.
+// fresh marks nodes created during this pass, whose hosts are already
+// current; for surviving nodes the host is re-resolved first (a change
+// is a re-plant) and the parent's probe is priced against the current
+// host (not the possibly departed pre-repair one).
+func (b *builder) process(n *Node, fresh bool, lvl int) {
+	if !fresh {
+		if h := b.t.owner(n.Key); h != n.Host {
+			n.Host = h
+			b.plants++
+			b.changes++
+		}
+		if n.Parent != nil {
+			b.heartbeat(n.Parent, n)
+		}
+	}
+	b.materialize(n, b.decompose(n.Region, lvl), lvl)
+}
+
+func (b *builder) heartbeat(parent, child *Node) {
+	b.hbCount++
+	b.hbCost += b.t.heartbeatCost(parent, child)
+}
+
+// decompose computes the compressed child decomposition of a
+// non-covered region: K-way splits descend directly through
+// single-straddler levels (chain collapse), covered parts become leaf
+// pieces, and adjacent same-host leaf pieces merge. The result tiles R
+// clockwise and has at least two elements. The returned slice is
+// per-recursion-level scratch, valid until the next decompose at the
+// same level.
+func (b *builder) decompose(R ident.Region, lvl int) []piece {
+	k := b.t.k
+	if cap(b.parts) < k {
+		b.parts = make([]ident.Region, k)
+		b.hosts = make([]*chord.VServer, k)
+	}
+	left, mid, right := b.left[:0], b.mid[:0], b.right[:0]
+	cur := R
+	for {
+		parts := splitInto(cur, k, b.parts[:k])
+		ncIdx, ncCount := -1, 0
+		for i, p := range parts {
+			if p.IsEmpty() {
+				b.hosts[i] = nil
+				continue
+			}
+			b.hosts[i] = b.t.coveredBy(p)
+			if b.hosts[i] == nil {
+				ncCount++
+				ncIdx = i
+			}
+		}
+		if ncCount == 1 {
+			// Chain collapse: no KT node materializes for the single
+			// straddling part — descend into it, keeping the covered
+			// side-parts as leaves of the node being decomposed. The
+			// right side is a stack (outer levels lie clockwise-after
+			// inner ones), so it is pushed reversed and unwound by the
+			// reversed append below.
+			for i := 0; i < ncIdx; i++ {
+				if !parts[i].IsEmpty() {
+					left = append(left, piece{region: parts[i], host: b.hosts[i]})
+				}
+			}
+			for i := k - 1; i > ncIdx; i-- {
+				if !parts[i].IsEmpty() {
+					right = append(right, piece{region: parts[i], host: b.hosts[i]})
+				}
+			}
+			cur = parts[ncIdx]
+			continue
+		}
+		for i, p := range parts {
+			if p.IsEmpty() {
+				continue
+			}
+			mid = append(mid, piece{region: p, host: b.hosts[i]})
+		}
+		break
+	}
+	b.left, b.mid, b.right = left, mid, right
+
+	for len(b.bufs) <= lvl {
+		b.bufs = append(b.bufs, nil)
+	}
+	out := b.bufs[lvl][:0]
+	out = append(out, left...)
+	out = append(out, mid...)
+	for i := len(right) - 1; i >= 0; i-- {
+		out = append(out, right[i])
+	}
+	// Merge adjacent same-host leaves (internal pieces have nil hosts
+	// and never merge). Pieces tile R, so neighbors are adjacent arcs.
+	w := 0
+	for _, p := range out {
+		if w > 0 && p.host != nil && out[w-1].host == p.host {
+			out[w-1].region.Width += p.region.Width
+			continue
+		}
+		out[w] = p
+		w++
+	}
+	b.bufs[lvl] = out
+	return out[:w]
+}
+
+// splitInto is Region.Split into a caller-provided buffer.
+func splitInto(r ident.Region, k int, out []ident.Region) []ident.Region {
+	base := r.Width / uint64(k)
+	rem := r.Width % uint64(k)
+	start := r.Start
+	for i := 0; i < k; i++ {
+		w := base
+		if uint64(i) < rem {
+			w++
+		}
+		out[i] = ident.Region{Start: start, Width: w}
+		start = start.Add(w)
+	}
+	return out
+}
+
+// materialize builds n's child list from pieces, reusing old children
+// that survive unchanged: a leaf with identical region and host, or an
+// internal child with identical region (spliced back whole if its
+// region is clean, repaired in place if dirty). Old children with no
+// surviving counterpart are discarded. Reuse matches by region start in
+// a single merge scan — both lists tile n.Region clockwise.
+func (b *builder) materialize(n *Node, pieces []piece, lvl int) {
+	old := n.Children
+	base := n.Region.Start
+	kids := b.ar.childSlice(len(pieces))
+	j := 0
+	for _, p := range pieces {
+		off := base.Dist(p.region.Start)
+		for j < len(old) && base.Dist(old[j].Region.Start) < off {
+			b.discardSubtree(old[j])
+			j++
+		}
+		var c *Node
+		if j < len(old) && base.Dist(old[j].Region.Start) == off {
+			oc := old[j]
+			switch {
+			case p.host != nil && oc.IsLeaf() && oc.Region == p.region && oc.Host == p.host:
+				c = oc
+				j++
+				b.heartbeat(n, c)
+			case p.host == nil && !oc.IsLeaf() && oc.Region == p.region:
+				c = oc
+				j++
+				if b.dirty.overlaps(p.region) {
+					b.schedule(c, false, lvl)
+				} else {
+					// Clean subtree: splice back whole; its own probe
+					// still happens (the parent checks it is alive).
+					b.heartbeat(n, c)
+				}
+			}
+		}
+		if c == nil {
+			if p.host != nil {
+				c = b.newLeaf(p.region, p.host, n)
+			} else {
+				c = b.newInternal(p.region, n)
+				b.schedule(c, true, lvl)
+			}
+		}
+		kids = append(kids, c)
+	}
+	for ; j < len(old); j++ {
+		b.discardSubtree(old[j])
+	}
+	n.Children = kids
+}
+
+// runTasks executes the deferred subtree tasks across cores and merges
+// each worker's tallies into the serial builder in task order, so the
+// result is independent of scheduling and worker count.
+func (t *Tree) runTasks(b *builder) {
+	if len(b.tasks) == 0 {
+		b.taskLeaves = nil
+		return
+	}
+	workers := par.Map(b.tasks, 0, func(tk task) *builder {
+		wb := b.workerClone()
+		wb.process(tk.node, tk.fresh, 0)
+		return wb
+	})
+	b.taskLeaves = make([][]leafEvent, len(workers))
+	for i, wb := range workers {
+		b.plants += wb.plants
+		b.hbCount += wb.hbCount
+		b.hbCost += wb.hbCost
+		b.changes += wb.changes
+		b.nodesDelta += wb.nodesDelta
+		b.leavesDelta += wb.leavesDelta
+		for d, delta := range wb.depthDelta {
+			if delta != 0 {
+				b.bumpDepth(d, delta)
+			}
+		}
+		b.removed = append(b.removed, wb.removed...)
+		b.taskLeaves[i] = wb.events
+	}
+}
+
+// apply commits a finished pass: engine message tallies, node/leaf
+// counters, and the leavesByVS updates (removals first, then additions
+// in clockwise DFS order). It returns the pass's change count.
+func (t *Tree) apply(b *builder) int {
+	eng := t.ring.Engine()
+	if b.plants > 0 {
+		eng.CountMessageN(MsgPlant, b.plants, sim.Time(b.plants)*t.plantCost())
+	}
+	if b.hbCount > 0 {
+		eng.CountMessageN(MsgHeartbeat, b.hbCount, b.hbCost)
+	}
+	t.numNodes += b.nodesDelta
+	t.numLeaves += b.leavesDelta
+	for d, delta := range b.depthDelta {
+		for len(t.depthCount) <= d {
+			t.depthCount = append(t.depthCount, 0)
+		}
+		t.depthCount[d] += delta
+	}
+	for _, n := range b.removed {
+		t.unregisterLeaf(n)
+	}
+	var add func(evs []leafEvent)
+	add = func(evs []leafEvent) {
+		for _, ev := range evs {
+			if ev.leaf != nil {
+				t.leavesByVS[ev.leaf.Host] = append(t.leavesByVS[ev.leaf.Host], ev.leaf)
+				continue
+			}
+			if b.taskLeaves != nil {
+				add(b.taskLeaves[ev.task])
+			}
+		}
+	}
+	add(b.events)
+	return b.changes
+}
+
+func (t *Tree) unregisterLeaf(n *Node) {
+	leaves := t.leavesByVS[n.Host]
+	for i, l := range leaves {
+		if l == n {
+			leaves = append(leaves[:i], leaves[i+1:]...)
+			break
+		}
+	}
+	if len(leaves) == 0 {
+		delete(t.leavesByVS, n.Host)
+	} else {
+		t.leavesByVS[n.Host] = leaves
+	}
+}
+
+// CheckInvariants panics if the tree violates its structural
+// invariants: the root covers the full space, children are dense,
+// partition their parent's region clockwise and are at least two, no
+// adjacent sibling leaves share a host (they would have merged), every
+// leaf is covered by its host's region, every node's host owns its key,
+// internal regions straddle an ownership boundary, leaf bookkeeping and
+// the node/leaf/height counters match the tree, and every live virtual
+// server hosts at least one leaf.
 func (t *Tree) CheckInvariants() {
 	if t.root == nil {
 		panic("ktree: no root")
@@ -308,19 +868,24 @@ func (t *Tree) CheckInvariants() {
 	if !t.root.Region.IsFull() {
 		panic("ktree: root does not cover the identifier space")
 	}
-	leaves := 0
-	nodes := 0
+	leaves, nodes, height := 0, 0, 0
+	depths := map[int]int{}
 	t.Walk(func(n *Node) {
 		nodes++
+		depths[n.Depth]++
+		if n.Depth > height {
+			height = n.Depth
+		}
 		if n.Key != n.Region.Center() {
 			panic("ktree: key is not the region center")
 		}
 		if t.ring.Successor(n.Key) != n.Host {
 			panic("ktree: host does not own the node's key")
 		}
+		covered := t.ring.RegionOf(n.Host).Covers(n.Region)
 		if n.IsLeaf() {
 			leaves++
-			if !t.coveredByHost(n) {
+			if !covered {
 				panic(fmt.Sprintf("ktree: leaf region %v not covered by host region %v",
 					n.Region, t.ring.RegionOf(n.Host)))
 			}
@@ -336,31 +901,49 @@ func (t *Tree) CheckInvariants() {
 			}
 			return
 		}
-		if len(n.Children) != t.k {
-			panic("ktree: internal node with wrong child count")
+		if covered {
+			panic(fmt.Sprintf("ktree: internal node %v is coverable and should be a leaf", n.Region))
 		}
-		parts := n.Region.Split(t.k)
+		if len(n.Children) < 2 {
+			panic("ktree: internal node with fewer than two children")
+		}
+		at := n.Region.Start
+		var total uint64
 		for i, c := range n.Children {
-			if parts[i].IsEmpty() {
-				if c != nil {
-					panic("ktree: child exists for empty region")
-				}
-				continue
-			}
 			if c == nil {
-				panic("ktree: missing child for non-empty region")
+				panic("ktree: nil child slot")
 			}
-			if c.Region != parts[i] {
-				panic("ktree: child region mismatch")
+			if c.Region.Start != at {
+				panic("ktree: children do not tile parent region")
 			}
 			if c.Parent != n || c.Depth != n.Depth+1 {
 				panic("ktree: child linkage wrong")
 			}
+			if i > 0 && c.IsLeaf() && n.Children[i-1].IsLeaf() && c.Host == n.Children[i-1].Host {
+				panic("ktree: unmerged adjacent sibling leaves with one host")
+			}
+			at = c.Region.End()
+			total += c.Region.Width
+		}
+		if total != n.Region.Width {
+			panic("ktree: child widths do not sum to parent width")
 		}
 	})
-	if nodes != t.numNodes || leaves != t.numLeaves {
-		panic(fmt.Sprintf("ktree: bookkeeping mismatch nodes %d/%d leaves %d/%d",
-			nodes, t.numNodes, leaves, t.numLeaves))
+	if nodes != t.numNodes || leaves != t.numLeaves || height != t.Height() {
+		panic(fmt.Sprintf("ktree: bookkeeping mismatch nodes %d/%d leaves %d/%d height %d/%d",
+			nodes, t.numNodes, leaves, t.numLeaves, height, t.Height()))
+	}
+	for d, c := range depths {
+		if t.depthCount[d] != c {
+			panic(fmt.Sprintf("ktree: depth histogram mismatch at depth %d: %d != %d", d, t.depthCount[d], c))
+		}
+	}
+	registered := 0
+	for _, vsLeaves := range t.leavesByVS {
+		registered += len(vsLeaves)
+	}
+	if registered != t.numLeaves {
+		panic(fmt.Sprintf("ktree: leavesByVS registers %d leaves, tree has %d", registered, t.numLeaves))
 	}
 	for _, vs := range t.ring.VServers() {
 		if len(t.leavesByVS[vs]) == 0 {

@@ -208,18 +208,103 @@ func TestRepairAfterTransfer(t *testing.T) {
 	tree.CheckInvariants()
 }
 
-func TestRepairCountsHeartbeats(t *testing.T) {
+func TestRepairQuiescentSendsNothing(t *testing.T) {
 	ring := buildRing(12, 16, 4)
 	tree := buildTree(t, ring, 2)
 	ring.Engine().ResetMessageStats()
+	changes, err := tree.Repair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changes != 0 {
+		t.Errorf("quiescent repair made %d changes", changes)
+	}
+	if hb := ring.Engine().MessageCount(MsgHeartbeat); hb != 0 {
+		t.Errorf("quiescent repair sent %d heartbeats, want 0", hb)
+	}
+	if p := ring.Engine().MessageCount(MsgPlant); p != 0 {
+		t.Errorf("quiescent repair sent %d plants, want 0", p)
+	}
+}
+
+func TestRepairCountsHeartbeats(t *testing.T) {
+	ring := buildRing(12, 64, 4)
+	tree := buildTree(t, ring, 2)
+	edges := int64(tree.NumNodes() - 1)
+	ring.Engine().ResetMessageStats()
+	ring.RemoveNode(ring.AliveNodes()[0])
 	if _, err := tree.Repair(); err != nil {
 		t.Fatal(err)
 	}
 	hb := ring.Engine().MessageCount(MsgHeartbeat)
-	// Every internal-node -> existing-child edge is probed once.
-	wantEdges := int64(tree.NumNodes() - 1)
-	if hb != wantEdges {
-		t.Errorf("heartbeats %d, want %d (one per parent-child edge)", hb, wantEdges)
+	if hb == 0 {
+		t.Error("repair after churn probed no children")
+	}
+	// Probes happen only along dirty paths: far fewer than one per
+	// parent-child edge of the whole tree.
+	if hb >= edges/2 {
+		t.Errorf("heartbeats %d not incremental (tree has %d edges)", hb, edges)
+	}
+	if ring.Engine().MessageCount(MsgPlant) == 0 {
+		t.Error("repair after churn planted nothing")
+	}
+}
+
+// TestRepairHeartbeatUsesCurrentHost is the churn pricing regression: a
+// probe must be priced against the child's re-resolved current host,
+// not the stale pre-repair host that may have departed. Every latency
+// touching the departed node is enormous; if any post-churn probe were
+// still priced against a host on it, the heartbeat cost would show it.
+func TestRepairHeartbeatUsesCurrentHost(t *testing.T) {
+	const farAway = 100000
+	eng := sim.NewEngine(21)
+	victimIdx := 0
+	ring := chord.NewRing(eng, chord.Config{
+		Latency: func(a, b *chord.Node) sim.Time {
+			if a.Index == victimIdx || b.Index == victimIdx {
+				return farAway
+			}
+			return 1
+		},
+	})
+	for i := 0; i < 16; i++ {
+		ring.AddNode(-1, 100, 4)
+	}
+	tree, err := New(ring, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Build(); err != nil {
+		t.Fatal(err)
+	}
+	ring.Engine().ResetMessageStats()
+	ring.RemoveNode(ring.Nodes()[victimIdx])
+	if _, err := tree.Repair(); err != nil {
+		t.Fatal(err)
+	}
+	hb := ring.Engine().MessageCount(MsgHeartbeat)
+	if hb == 0 {
+		t.Fatal("repair after churn probed no children")
+	}
+	// All surviving hosts live on non-victim nodes: every probe costs
+	// latency 1 + 1 hop. A single stale-host pricing would add farAway.
+	if cost := ring.Engine().MessageCost(MsgHeartbeat); cost != 2*hb {
+		t.Errorf("heartbeat cost %d for %d probes; a probe was priced against a departed host", cost, hb)
+	}
+}
+
+func TestCompressedShape(t *testing.T) {
+	ring := buildRing(18, 256, 5) // 1280 VSs
+	tree := buildTree(t, ring, 2)
+	v := ring.NumVServers()
+	// Chain collapse keeps the tree near log2(V) deep instead of the
+	// identifier-bits-deep chains a dyadic split produces.
+	bound := 2 * int(math.Ceil(math.Log2(float64(v))))
+	if tree.Height() > bound {
+		t.Errorf("height %d exceeds 2*log2(%d VSs) = %d", tree.Height(), v, bound)
+	}
+	if tree.NumNodes() > 5*v {
+		t.Errorf("%d nodes for %d VSs — compression failed (~4.3/VS expected)", tree.NumNodes(), v)
 	}
 }
 

@@ -53,9 +53,7 @@ func reduce[T any](root *ktree.Node, eval func(n *ktree.Node, children []T) T) T
 	sequential = func(n *ktree.Node) T {
 		var children []T
 		for _, c := range n.Children {
-			if c != nil {
-				children = append(children, sequential(c))
-			}
+			children = append(children, sequential(c))
 		}
 		return eval(n, children)
 	}
@@ -68,9 +66,7 @@ func reduce[T any](root *ktree.Node, eval func(n *ktree.Node, children []T) T) T
 		}
 		var childCh []<-chan T
 		for _, c := range n.Children {
-			if c != nil {
-				childCh = append(childCh, spawn(c))
-			}
+			childCh = append(childCh, spawn(c))
 		}
 		go func() {
 			children := make([]T, len(childCh))

@@ -459,19 +459,6 @@ func (rd *round) depositLBIReports() {
 	}
 }
 
-// liveChildren counts n's occupied child slots — the number of subtrees
-// an epoch will query (dead subtrees are queried too; they just never
-// reply and the timeout absorbs them).
-func liveChildren(n *ktree.Node) int {
-	children := 0
-	for _, c := range n.Children {
-		if c != nil {
-			children++
-		}
-	}
-	return children
-}
-
 // collectLBI pulls <L, C, Lmin> from n's subtree, driving one
 // lbnode.LBICollect epoch per node: leaves answer from their inbox;
 // internal nodes query children, merge replies through the machine, and
@@ -480,15 +467,12 @@ func (rd *round) collectLBI(n *ktree.Node, cb func(core.LBI)) {
 	if !rd.alive(n) {
 		return // a dead KT node never replies
 	}
-	col := lbnode.NewLBICollect(rd.lbiInbox[n], liveChildren(n))
+	col := lbnode.NewLBICollect(rd.lbiInbox[n], len(n.Children))
 	if col.Done() {
 		cb(col.Aggregate())
 		return
 	}
 	for _, c := range n.Children {
-		if c == nil {
-			continue
-		}
 		c := c
 		edge := rd.r.tree.EdgeLatency(c)
 		// Both directions are acked and retransmitted: a lost pull would
@@ -536,9 +520,6 @@ func (rd *round) disseminate(n *ktree.Node) {
 			return
 		}
 		for _, c := range n.Children {
-			if c == nil {
-				continue
-			}
 			c := c
 			edge := rd.r.tree.EdgeLatency(c)
 			rd.publishing++
@@ -647,7 +628,7 @@ func (rd *round) collectVSA(n *ktree.Node, isRoot bool, cb func(*core.PairList))
 	if !rd.alive(n) {
 		return
 	}
-	col := lbnode.NewVSACollect(rd.vsaInbox[n], liveChildren(n))
+	col := lbnode.NewVSACollect(rd.vsaInbox[n], len(n.Children))
 	finishNode := func() {
 		for _, p := range col.Rendezvous(isRoot, rd.cfg().RendezvousThreshold, rd.global.Lmin) {
 			rd.emitPair(n, p)
@@ -659,9 +640,6 @@ func (rd *round) collectVSA(n *ktree.Node, isRoot bool, cb func(*core.PairList))
 		return
 	}
 	for _, c := range n.Children {
-		if c == nil {
-			continue
-		}
 		c := c
 		edge := rd.r.tree.EdgeLatency(c)
 		rd.reliable(MsgVSADown, hostIdx(n), hostIdx(c), edge, func() bool {

@@ -234,6 +234,30 @@ func (e *Engine) CountMessage(kind string, cost Time) {
 	}
 }
 
+// CountMessageN records n messages of kind with combined cost total, as
+// if CountMessage had been called n times. Bulk layers (the K-nary
+// tree's sharded build) accumulate per-worker tallies and commit them
+// through here in one deterministic step.
+func (e *Engine) CountMessageN(kind string, n int64, total Time) {
+	if n <= 0 {
+		return
+	}
+	e.msgCount[kind] += n
+	e.msgCost[kind] += int64(total)
+	if e.reg != nil {
+		mc, ok := e.mMsg[kind]
+		if !ok {
+			mc = msgCounters{
+				count: e.reg.Counter("msg." + kind + ".count"),
+				cost:  e.reg.Counter("msg." + kind + ".cost"),
+			}
+			e.mMsg[kind] = mc
+		}
+		mc.count.Add(n)
+		mc.cost.Add(int64(total))
+	}
+}
+
 // SetFilter installs a message filter (nil detaches). Install before
 // the simulation starts; swapping filters mid-run changes the fate of
 // messages sent afterwards, never of copies already scheduled.
