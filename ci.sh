@@ -3,17 +3,29 @@
 #
 # Order matters: cheap static checks first (gofmt, vet, lbvet) so
 # formatting, vet or invariant findings surface before the minutes-long
-# test run. lbvet runs the project-specific analyzers (randcontract,
-# nondeterminism, identcompare, metricsguard, layercheck — see
-# DESIGN.md "Enforced invariants"). The race pass covers the packages
-# that exercise real concurrency (livenet's goroutine-per-subtree
-# rounds, par's worker pools, sim's engine contract, ktree's, daemon's
-# and faults' goroutine-spawning tests, and lbnode — whose machines are
-# single-goroutine by construction but whose cross-executor equivalence
-# test drives the concurrent livenet rounds); the rest of the tree is
-# single-goroutine by design.
+# test run. lbvet runs the project-specific analyzers — the syntactic
+# ones (randcontract, nondeterminism, identcompare, metricsguard,
+# layercheck) and the dataflow ones (detflow, lockguard, hotalloc,
+# floatorder) — see DESIGN.md "Enforced invariants". The race pass
+# covers the packages that exercise real concurrency (livenet's
+# goroutine-per-subtree rounds, par's worker pools, sim's engine
+# contract, ktree's, daemon's and faults' goroutine-spawning tests, and
+# lbnode — whose machines are single-goroutine by construction but
+# whose cross-executor equivalence test drives the concurrent livenet
+# rounds); the rest of the tree is single-goroutine by design.
+#
+# The project binaries (lbvet, lbbench) are built exactly once into a
+# temp dir and reused by every later step — `go run` would rebuild
+# them on each invocation, and the smoke steps below invoke lbbench
+# four times.
 set -eu
 cd "$(dirname "$0")"
+
+bin=$(mktemp -d)
+tmp1=
+tmp2=
+cleanup() { rm -rf "$bin" ${tmp1:+"$tmp1"} ${tmp2:+"$tmp2"}; }
+trap cleanup EXIT INT TERM
 
 echo "== gofmt -s"
 unformatted=$(gofmt -s -l .)
@@ -26,8 +38,15 @@ fi
 echo "== go vet"
 go vet ./...
 
+echo "== go build (tools)"
+go build -o "$bin/lbvet" ./cmd/lbvet
+go build -o "$bin/lbbench" ./cmd/lbbench
+
 echo "== lbvet"
-go run ./cmd/lbvet
+# The JSON gate: machine-readable findings on stdout, nonzero exit on
+# any finding. The array lands in the log so a CI failure shows the
+# structured findings without a rerun.
+"$bin/lbvet" -json
 
 echo "== go build"
 go build ./...
@@ -38,18 +57,31 @@ go test ./...
 echo "== go test -race (concurrent packages)"
 go test -race ./internal/livenet/ ./internal/par/ ./internal/sim/ ./internal/ktree/ ./internal/daemon/ ./internal/faults/ ./internal/lbnode/
 
-echo "== lbbench scale smoke (time-boxed)"
+echo "== lbbench scale smoke (time-boxed, determinism-diffed)"
 # A small scale run keeps the O(log n) maintenance path honest without
-# the full 1M-VS sweep. Each size now runs the whole lifecycle — ring
+# the full 1M-VS sweep. Each size runs the whole lifecycle — ring
 # build, tree build, a full balancing round, ~1% node churn, an
 # incremental Repair, and CheckInvariants on the repaired tree — and
 # fails hard if the compressed tree regresses in shape (height >
 # 2·log2(V) or more than 5 KT nodes per VS). The timeout catches
 # accidental re-quadratization (the 20k run takes well under a second —
-# 120 s means something is badly wrong).
-tmp=$(mktemp -d)
-timeout 120 go run ./cmd/lbbench -bench scale -scalesizes 20000 -out "$tmp"
-rm -rf "$tmp"
+# 120 s means something is badly wrong). Run twice at the same seed:
+# the reports must match byte-for-byte once the wall-clock fields
+# (unix_time and the *_ms phase timings) are stripped, gating the
+# whole lifecycle's seed-determinism.
+tmp1=$(mktemp -d)
+tmp2=$(mktemp -d)
+timeout 120 "$bin/lbbench" -bench scale -scalesizes 20000 -out "$tmp1"
+timeout 120 "$bin/lbbench" -bench scale -scalesizes 20000 -out "$tmp2"
+grep -vE '"unix_time"|"[a-z_]*_ms"' "$tmp1/BENCH_scale.json" > "$tmp1/stripped"
+grep -vE '"unix_time"|"[a-z_]*_ms"' "$tmp2/BENCH_scale.json" > "$tmp2/stripped"
+if ! diff "$tmp1/stripped" "$tmp2/stripped"; then
+	echo "scale lifecycle is nondeterministic across identical runs" >&2
+	exit 1
+fi
+rm -rf "$tmp1" "$tmp2"
+tmp1=
+tmp2=
 
 echo "== lbbench fault smoke (time-boxed, determinism-diffed)"
 # A small drop-rate sweep plus partition recovery, run twice at the same
@@ -58,15 +90,16 @@ echo "== lbbench fault smoke (time-boxed, determinism-diffed)"
 # determinism, not just its correctness.
 tmp1=$(mktemp -d)
 tmp2=$(mktemp -d)
-timeout 120 go run ./cmd/lbbench -bench faults -nodes 128 -out "$tmp1"
-timeout 120 go run ./cmd/lbbench -bench faults -nodes 128 -out "$tmp2"
+timeout 120 "$bin/lbbench" -bench faults -nodes 128 -out "$tmp1"
+timeout 120 "$bin/lbbench" -bench faults -nodes 128 -out "$tmp2"
 grep -v '"unix_time"\|"wall_ms"' "$tmp1/BENCH_faults.json" > "$tmp1/stripped"
 grep -v '"unix_time"\|"wall_ms"' "$tmp2/BENCH_faults.json" > "$tmp2/stripped"
 if ! diff "$tmp1/stripped" "$tmp2/stripped"; then
 	echo "fault sweep is nondeterministic across identical runs" >&2
-	rm -rf "$tmp1" "$tmp2"
 	exit 1
 fi
 rm -rf "$tmp1" "$tmp2"
+tmp1=
+tmp2=
 
 echo "ci: all checks passed"

@@ -81,25 +81,64 @@ func runGolden(t *testing.T, a *Analyzer) {
 
 func TestRandContractGolden(t *testing.T)   { runGolden(t, RandContract) }
 func TestNondeterminismGolden(t *testing.T) { runGolden(t, Nondeterminism) }
+func TestDetflowGolden(t *testing.T)        { runGolden(t, Detflow) }
 func TestIdentCompareGolden(t *testing.T)   { runGolden(t, IdentCompare) }
 func TestMetricsGuardGolden(t *testing.T)   { runGolden(t, MetricsGuard) }
 func TestLayercheckGolden(t *testing.T)     { runGolden(t, Layercheck) }
+func TestLockguardGolden(t *testing.T)      { runGolden(t, Lockguard) }
+func TestHotallocGolden(t *testing.T)       { runGolden(t, Hotalloc) }
+func TestFloatorderGolden(t *testing.T)     { runGolden(t, Floatorder) }
+
+// TestDetflowCatchesLaunderedFlow is the reason detflow exists: the
+// laundered.go case routes a map-range key through a local and an
+// in-package helper before the return, which the syntactic
+// nondeterminism analyzer (builtin-append-under-range only) cannot
+// see. The dataflow analyzer must catch it; the old one must not.
+func TestDetflowCatchesLaunderedFlow(t *testing.T) {
+	pkg := loadFixture(t, "detflow")
+	inLaundered := func(f Finding) bool {
+		return strings.HasSuffix(f.Pos.Filename, "laundered.go")
+	}
+	for _, f := range RunAnalyzers(pkg, []*Analyzer{Nondeterminism}) {
+		if inLaundered(f) {
+			t.Errorf("nondeterminism unexpectedly sees the laundered flow: %s", f)
+		}
+	}
+	caught := 0
+	for _, f := range RunAnalyzers(pkg, []*Analyzer{Detflow}) {
+		if inLaundered(f) && strings.Contains(f.Message, "map-iteration order") {
+			caught++
+		}
+	}
+	if caught != 1 {
+		t.Errorf("detflow findings in laundered.go = %d, want exactly 1 (badLaundered flagged, goodLaunderedCanon clean)", caught)
+	}
+}
 
 // TestIgnoreDirectives covers the annotation machinery beyond the
 // suppression already exercised by the identcompare fixture: a
-// reasonless ignore suppresses nothing and is itself reported.
+// reasonless ignore suppresses nothing and is itself reported, and an
+// ignore naming an unregistered analyzer (a stale annotation) is
+// reported too.
 func TestIgnoreDirectives(t *testing.T) {
 	pkg := loadFixture(t, "ignores")
 	findings := RunAnalyzers(pkg, []*Analyzer{IdentCompare})
-	var identHits, lbvetHits int
+	var identHits, reasonless, stale int
 	for _, f := range findings {
 		switch f.Analyzer {
 		case "identcompare":
 			identHits++
 		case "lbvet":
-			lbvetHits++
-			if !strings.Contains(f.Message, "justification") {
-				t.Errorf("lbvet finding should demand a justification: %s", f)
+			switch {
+			case strings.Contains(f.Message, "justification"):
+				reasonless++
+			case strings.Contains(f.Message, "unknown analyzer"):
+				stale++
+				if !strings.Contains(f.Message, `"idcompare"`) {
+					t.Errorf("stale-name finding should quote the bad name: %s", f)
+				}
+			default:
+				t.Errorf("unexpected lbvet finding: %s", f)
 			}
 		default:
 			t.Errorf("unexpected analyzer %q: %s", f.Analyzer, f)
@@ -107,12 +146,15 @@ func TestIgnoreDirectives(t *testing.T) {
 	}
 	// One raw comparison under a reasonless ignore (still reported),
 	// one under a reasoned ignore (suppressed), plus the reasonless
-	// directive itself.
+	// directive and the stale-name directive themselves.
 	if identHits != 1 {
 		t.Errorf("identcompare findings = %d, want 1 (reasonless ignore must not suppress)", identHits)
 	}
-	if lbvetHits != 1 {
-		t.Errorf("lbvet findings = %d, want 1 (the reasonless directive)", lbvetHits)
+	if reasonless != 1 {
+		t.Errorf("reasonless-directive findings = %d, want 1", reasonless)
+	}
+	if stale != 1 {
+		t.Errorf("stale-name findings = %d, want 1", stale)
 	}
 }
 

@@ -1,0 +1,298 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is the control-flow half of the dataflow layer: a small
+// intra-function CFG over go/ast, precise enough for forward dataflow
+// (taint.go) without trying to be a full SSA builder. Statements and
+// the expressions evaluated with them (conditions, range operands,
+// select comms) are grouped into basic blocks; branches, loops,
+// switches and selects produce the expected edges. Deliberate
+// coarseness, safe for a may-analysis because it only ever *adds*
+// paths: labeled break/continue target the innermost enclosing
+// loop/switch, `continue` re-enters the loop head (skipping the post
+// statement), and goto simply terminates its block.
+
+// A Block is a straight-line run of statements with its control-flow
+// successors.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// CFG is the control-flow graph of one function body. Entry is
+// Blocks[0]; Exit is the distinguished sink every return (and the fall
+// off the end) reaches.
+type CFG struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+}
+
+// Preds returns the predecessor blocks of b (computed on demand; CFGs
+// are small).
+func (g *CFG) Preds(b *Block) []*Block {
+	var preds []*Block
+	for _, cand := range g.Blocks {
+		for _, s := range cand.Succs {
+			if s == b {
+				preds = append(preds, cand)
+				break
+			}
+		}
+	}
+	return preds
+}
+
+// buildCFG constructs the CFG of a function body (an empty two-block
+// graph for bodyless declarations).
+func buildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{g: &CFG{}}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = b.newBlock()
+	b.cur = b.g.Entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	b.edge(b.cur, b.g.Exit)
+	return b.g
+}
+
+type cfgBuilder struct {
+	g   *CFG
+	cur *Block // nil after a terminator (return/break/continue/goto)
+
+	breaks    []*Block
+	continues []*Block
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// edge adds from→to; a nil from (terminated path) is a no-op.
+func (b *cfgBuilder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// use returns the current block, resurrecting a fresh (unreachable)
+// one after a terminator so trailing dead code is still represented.
+func (b *cfgBuilder) use() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if n == nil {
+		return
+	}
+	blk := b.use()
+	blk.Nodes = append(blk.Nodes, n)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch x := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(x.List)
+	case *ast.LabeledStmt:
+		b.stmt(x.Stmt)
+	case *ast.IfStmt:
+		b.ifStmt(x)
+	case *ast.ForStmt:
+		b.forStmt(x)
+	case *ast.RangeStmt:
+		b.rangeStmt(x)
+	case *ast.SwitchStmt:
+		b.add(x.Init)
+		b.add(x.Tag)
+		b.switchBody(x.Body, true)
+	case *ast.TypeSwitchStmt:
+		b.add(x.Init)
+		b.add(x.Assign)
+		b.switchBody(x.Body, true)
+	case *ast.SelectStmt:
+		b.switchBody(x.Body, false)
+	case *ast.ReturnStmt:
+		b.add(x)
+		b.edge(b.cur, b.g.Exit)
+		b.cur = nil
+	case *ast.BranchStmt:
+		b.branchStmt(x)
+	default:
+		// Assign, Decl, Expr, Send, IncDec, Go, Defer, Empty: straight-line.
+		b.add(s)
+	}
+}
+
+func (b *cfgBuilder) ifStmt(x *ast.IfStmt) {
+	b.add(x.Init)
+	b.add(x.Cond)
+	condBlk := b.use()
+
+	thenBlk := b.newBlock()
+	b.edge(condBlk, thenBlk)
+	b.cur = thenBlk
+	b.stmtList(x.Body.List)
+	thenEnd := b.cur
+
+	var elseEnd *Block
+	hasElse := x.Else != nil
+	if hasElse {
+		elseBlk := b.newBlock()
+		b.edge(condBlk, elseBlk)
+		b.cur = elseBlk
+		b.stmt(x.Else)
+		elseEnd = b.cur
+	}
+
+	join := b.newBlock()
+	b.edge(thenEnd, join)
+	if hasElse {
+		b.edge(elseEnd, join)
+	} else {
+		b.edge(condBlk, join)
+	}
+	b.cur = join
+}
+
+func (b *cfgBuilder) forStmt(x *ast.ForStmt) {
+	b.add(x.Init)
+	head := b.newBlock()
+	b.edge(b.use(), head)
+	if x.Cond != nil {
+		head.Nodes = append(head.Nodes, x.Cond)
+	}
+	body := b.newBlock()
+	b.edge(head, body)
+	exit := b.newBlock()
+	if x.Cond != nil {
+		b.edge(head, exit)
+	}
+	b.breaks = append(b.breaks, exit)
+	b.continues = append(b.continues, head)
+	b.cur = body
+	b.stmtList(x.Body.List)
+	b.add(x.Post)
+	b.edge(b.cur, head)
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+	b.cur = exit
+}
+
+func (b *cfgBuilder) rangeStmt(x *ast.RangeStmt) {
+	head := b.newBlock()
+	b.edge(b.use(), head)
+	// The RangeStmt itself is the head node: evaluating X and binding
+	// Key/Value each iteration.
+	head.Nodes = append(head.Nodes, x)
+	body := b.newBlock()
+	b.edge(head, body)
+	exit := b.newBlock()
+	b.edge(head, exit)
+	b.breaks = append(b.breaks, exit)
+	b.continues = append(b.continues, head)
+	b.cur = body
+	b.stmtList(x.Body.List)
+	b.edge(b.cur, head)
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+	b.cur = exit
+}
+
+// switchBody lowers the clause list shared by switch, type switch and
+// select. Every clause begins at the head; `withDefaultEdge` adds the
+// head→join edge when no default clause exists (switches can fall
+// through all cases; selects always take some clause, but an extra
+// edge is harmless for a may-analysis).
+func (b *cfgBuilder) switchBody(body *ast.BlockStmt, withDefaultEdge bool) {
+	head := b.use()
+	join := b.newBlock()
+	b.breaks = append(b.breaks, join)
+
+	type clause struct {
+		blk  *Block
+		list []ast.Stmt
+		fall bool
+	}
+	var clauses []clause
+	hasDefault := false
+	for _, cs := range body.List {
+		switch c := cs.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			blk := b.newBlock()
+			for _, e := range c.List {
+				blk.Nodes = append(blk.Nodes, e)
+			}
+			fall := false
+			if n := len(c.Body); n > 0 {
+				if br, ok := c.Body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+					fall = true
+				}
+			}
+			clauses = append(clauses, clause{blk: blk, list: c.Body, fall: fall})
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			}
+			blk := b.newBlock()
+			if c.Comm != nil {
+				blk.Nodes = append(blk.Nodes, c.Comm)
+			}
+			clauses = append(clauses, clause{blk: blk, list: c.Body})
+		}
+	}
+	for i, c := range clauses {
+		b.edge(head, c.blk)
+		b.cur = c.blk
+		b.stmtList(c.list)
+		if c.fall && i+1 < len(clauses) {
+			b.edge(b.cur, clauses[i+1].blk)
+			b.cur = nil
+		}
+		b.edge(b.cur, join)
+	}
+	if withDefaultEdge && !hasDefault {
+		b.edge(head, join)
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.cur = join
+}
+
+func (b *cfgBuilder) branchStmt(x *ast.BranchStmt) {
+	switch x.Tok {
+	case token.BREAK:
+		if len(b.breaks) > 0 {
+			b.edge(b.cur, b.breaks[len(b.breaks)-1])
+		}
+		b.cur = nil
+	case token.CONTINUE:
+		if len(b.continues) > 0 {
+			b.edge(b.cur, b.continues[len(b.continues)-1])
+		}
+		b.cur = nil
+	case token.GOTO:
+		b.cur = nil
+	case token.FALLTHROUGH:
+		// Handled by switchBody; stray ones are dead ends.
+	}
+}

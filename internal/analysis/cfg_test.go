@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody wraps a statement list in a function and returns its body.
+func parseBody(t *testing.T, body string) *ast.BlockStmt {
+	t.Helper()
+	src := fmt.Sprintf("package p\nfunc f(c bool, n int) int {\n%s\n}\n", body)
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+// TestBuildCFG checks the block/edge shape of the builder on the
+// control constructs the taint engine depends on.
+func TestBuildCFG(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		// blocks with two or more successors (branch points)
+		wantBranchBlocks int
+		wantBackEdge     bool
+		wantExitPreds    int
+	}{
+		{
+			name:             "straight line",
+			body:             "x := 1\n_ = x\nreturn x",
+			wantBranchBlocks: 0,
+			wantBackEdge:     false,
+			wantExitPreds:    1,
+		},
+		{
+			name:             "if else joins",
+			body:             "x := 0\nif c {\nx = 1\n} else {\nx = 2\n}\nreturn x",
+			wantBranchBlocks: 1,
+			wantBackEdge:     false,
+			wantExitPreds:    1,
+		},
+		{
+			name:             "if without else falls through",
+			body:             "x := 0\nif c {\nx = 1\n}\nreturn x",
+			wantBranchBlocks: 1,
+			wantBackEdge:     false,
+			wantExitPreds:    1,
+		},
+		{
+			name:             "early return reaches exit twice",
+			body:             "if c {\nreturn 1\n}\nreturn 0",
+			wantBranchBlocks: 1,
+			wantBackEdge:     false,
+			wantExitPreds:    2,
+		},
+		{
+			name:             "for loop has back edge",
+			body:             "x := 0\nfor i := 0; i < n; i++ {\nx += i\n}\nreturn x",
+			wantBranchBlocks: 1,
+			wantBackEdge:     true,
+			wantExitPreds:    1,
+		},
+		{
+			name:             "range loop has back edge",
+			body:             "x := 0\nfor i := range n {\nx += i\n}\nreturn x",
+			wantBranchBlocks: 1,
+			wantBackEdge:     true,
+			wantExitPreds:    1,
+		},
+		{
+			name:             "break leaves infinite loop",
+			body:             "x := 0\nfor {\nif c {\nbreak\n}\nx++\n}\nreturn x",
+			wantBranchBlocks: 1,
+			wantBackEdge:     true,
+			wantExitPreds:    1,
+		},
+		{
+			name:             "switch fans out and rejoins",
+			body:             "x := 0\nswitch n {\ncase 1:\nx = 1\ncase 2:\nx = 2\n}\nreturn x",
+			wantBranchBlocks: 1,
+			wantBackEdge:     false,
+			wantExitPreds:    1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := buildCFG(parseBody(t, tc.body))
+
+			branches := 0
+			for _, b := range g.Blocks {
+				if len(b.Succs) >= 2 {
+					branches++
+				}
+			}
+			// A back edge is an edge to a block on the DFS stack (an
+			// ancestor) — block indices alone can't tell, since join
+			// blocks are allocated before the clauses that feed them.
+			backEdge := false
+			onStack := map[*Block]bool{}
+			done := map[*Block]bool{}
+			var dfs func(*Block)
+			dfs = func(b *Block) {
+				onStack[b] = true
+				for _, s := range b.Succs {
+					if onStack[s] {
+						backEdge = true
+					} else if !done[s] {
+						dfs(s)
+					}
+				}
+				onStack[b] = false
+				done[b] = true
+			}
+			dfs(g.Entry)
+			if branches != tc.wantBranchBlocks {
+				t.Errorf("branch blocks = %d, want %d", branches, tc.wantBranchBlocks)
+			}
+			if backEdge != tc.wantBackEdge {
+				t.Errorf("back edge = %v, want %v", backEdge, tc.wantBackEdge)
+			}
+			if got := len(g.Preds(g.Exit)); got != tc.wantExitPreds {
+				t.Errorf("exit preds = %d, want %d", got, tc.wantExitPreds)
+			}
+
+			// Structural invariants: the entry reaches the exit, and
+			// every reachable block's successors are in the graph.
+			seen := map[*Block]bool{}
+			stack := []*Block{g.Entry}
+			for len(stack) > 0 {
+				b := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if seen[b] {
+					continue
+				}
+				seen[b] = true
+				stack = append(stack, b.Succs...)
+			}
+			if !seen[g.Exit] {
+				t.Error("exit unreachable from entry")
+			}
+		})
+	}
+}

@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestAnalyzersDocumented is the meta-test keeping documentation in
+// lockstep with the registry: every analyzer registered in All() must
+// be described both in this package's doc comment (as a "name:" list
+// entry) and in DESIGN.md's "Enforced invariants (lbvet)" section (as
+// a "**name**" bullet). Register a new analyzer and this fails until
+// both are written.
+func TestAnalyzersDocumented(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "analysis.go", nil, parser.ParseComments|parser.PackageClauseOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Doc == nil {
+		t.Fatal("analysis.go has no package doc comment")
+	}
+	pkgDoc := f.Doc.Text()
+
+	design, err := os.ReadFile("../../DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const heading = "## Enforced invariants (lbvet)"
+	_, section, ok := strings.Cut(string(design), heading)
+	if !ok {
+		t.Fatalf("DESIGN.md has no %q section", heading)
+	}
+	if next := strings.Index(section, "\n## "); next >= 0 {
+		section = section[:next]
+	}
+
+	for _, a := range All() {
+		if !strings.Contains(pkgDoc, a.Name+":") {
+			t.Errorf("analyzer %q is not described in the package doc of analysis.go", a.Name)
+		}
+		if !strings.Contains(section, "**"+a.Name+"**") {
+			t.Errorf("analyzer %q has no bullet in DESIGN.md %q", a.Name, heading)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Floatorder guards the reproducibility of floating-point reductions:
+// float addition is not associative, so a shared accumulator updated
+// from inside a `go` statement or an internal/par worker callback sums
+// in worker-completion order — a schedule-dependent result even when
+// every task is deterministic. The fix this codebase standardized on is
+// per-task accumulation merged in task order: write each task's partial
+// into its own indexed slot (res[i] += …, which this analyzer permits)
+// and fold the slots sequentially afterwards.
+//
+// Flagged: a float compound assignment (+=, -=, *=, /=) inside a
+// concurrent region whose target is declared outside that region and is
+// not an indexed slot. The regions are the same shared package fact
+// randcontract uses.
+var Floatorder = &Analyzer{
+	Name: "floatorder",
+	Doc:  "no shared float accumulators updated from goroutines or par callbacks; accumulate per task, merge in task order",
+	Run:  runFloatorder,
+}
+
+func runFloatorder(pass *Pass) {
+	for _, file := range pass.Files {
+		regions := pass.ConcurrentRegions(file)
+		if len(regions) == 0 {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			switch as.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			default:
+				return true
+			}
+			region := regionOf(regions, as.Pos())
+			if region == nil {
+				return true
+			}
+			lhs := ast.Unparen(as.Lhs[0])
+			if !isFloatExpr(pass, lhs) {
+				return true
+			}
+			// res[i] += … is the sanctioned per-task-slot pattern: each
+			// task owns its index, and the merge happens sequentially.
+			if _, indexed := lhs.(*ast.IndexExpr); indexed {
+				return true
+			}
+			if declaredInside(pass, lhs, region) {
+				return true
+			}
+			pass.Reportf(as.Pos(), "float accumulation into %s inside a %s sums in worker-completion order (float addition is not associative); accumulate into a per-task slot and merge in task order", exprString(lhs), region.kind)
+			return true
+		})
+	}
+}
+
+// isFloatExpr reports whether e has floating-point (or complex) type.
+func isFloatExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

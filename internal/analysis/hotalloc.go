@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Hotalloc polices allocation on the paths that dominate simulation
+// wall time. It is annotation-driven: a function marked
+//
+//	//lbvet:hotpath
+//
+// in its doc comment is checked for allocation-causing constructs —
+// fmt formatting, make/new, map and slice literals, &T{} literals,
+// closures, growing appends, and interface boxing at call sites
+// (a concrete non-pointer argument passed as an interface parameter,
+// the hidden allocation behind heap.Push and friends). Anything
+// intentional stays, justified by a //lbvet:ignore hotalloc annotation,
+// which turns "this allocation is fine" from tribal knowledge into a
+// reviewed, greppable statement.
+var Hotalloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "flag allocation-causing constructs inside //lbvet:hotpath-annotated functions",
+	Run:  runHotalloc,
+}
+
+const hotpathMarker = "//lbvet:hotpath"
+
+// Hotpaths returns (building on first use) the set of function
+// declarations in file annotated //lbvet:hotpath.
+func (p *Pass) Hotpaths(file *ast.File) map[ast.Node]bool {
+	if m, ok := p.facts.hotpaths[file]; ok {
+		return m
+	}
+	m := make(map[ast.Node]bool)
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Doc == nil {
+			continue
+		}
+		for _, c := range fd.Doc.List {
+			if strings.HasPrefix(c.Text, hotpathMarker) {
+				m[fd] = true
+				break
+			}
+		}
+	}
+	p.facts.hotpaths[file] = m
+	return m
+}
+
+func runHotalloc(pass *Pass) {
+	for _, file := range pass.Files {
+		for fn := range pass.Hotpaths(file) {
+			fd := fn.(*ast.FuncDecl)
+			if fd.Body == nil {
+				continue
+			}
+			checkHotBody(pass, fd)
+		}
+	}
+}
+
+func checkHotBody(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(x.Pos(), "closure literal in hotpath %s allocates; hoist it or restructure so the hot loop stays closure-free", fd.Name.Name)
+			return false // the literal itself is the finding; don't re-flag its body
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if lit, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					name := "composite"
+					if lit.Type != nil {
+						name = exprString(lit.Type)
+					}
+					pass.Reportf(x.Pos(), "&%s{…} in hotpath %s heap-allocates; reuse an existing value or a pool", name, fd.Name.Name)
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			checkHotComposite(pass, fd, x)
+		case *ast.CallExpr:
+			checkHotCall(pass, fd, x)
+		}
+		return true
+	})
+}
+
+func checkHotComposite(pass *Pass, fd *ast.FuncDecl, lit *ast.CompositeLit) {
+	tv, ok := pass.Info.Types[lit]
+	if !ok {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Map:
+		pass.Reportf(lit.Pos(), "map literal in hotpath %s allocates; hoist it to a package/struct field and reuse", fd.Name.Name)
+	case *types.Slice:
+		pass.Reportf(lit.Pos(), "slice literal in hotpath %s allocates; reuse a preallocated buffer", fd.Name.Name)
+	}
+}
+
+func checkHotCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	// fmt formatting: both the varargs slice and the boxed operands
+	// allocate, and Sprintf allocates its result string.
+	if fn := calleeFunc(pass.Info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(), "fmt.%s in hotpath %s allocates (varargs slice, boxed operands, result); precompute the string or use a cached key", fn.Name(), fd.Name.Name)
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				pass.Reportf(call.Pos(), "make in hotpath %s allocates; preallocate outside the hot loop and reuse", fd.Name.Name)
+			case "new":
+				pass.Reportf(call.Pos(), "new in hotpath %s allocates; reuse an existing value", fd.Name.Name)
+			case "append":
+				pass.Reportf(call.Pos(), "append in hotpath %s may grow and allocate; size the buffer up front or reuse a preallocated one", fd.Name.Name)
+			}
+			return
+		}
+	}
+	checkHotBoxing(pass, fd, call)
+}
+
+// checkHotBoxing flags concrete non-pointer arguments passed as
+// interface parameters — the conversion heap-allocates a copy of the
+// value (the classic hidden cost of heap.Push(h, ev)).
+func checkHotBoxing(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	np := sig.Params().Len()
+	if np == 0 {
+		return
+	}
+	for i, arg := range call.Args {
+		pi := i
+		if pi >= np {
+			if !sig.Variadic() {
+				break
+			}
+			pi = np - 1
+		}
+		pt := sig.Params().At(pi).Type()
+		if sig.Variadic() && pi == np-1 {
+			if sl, ok := pt.(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at, ok := pass.Info.Types[arg]
+		if !ok || at.Type == nil || types.IsInterface(at.Type) {
+			continue
+		}
+		if isPointerSized(at.Type) || at.IsNil() {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "passing %s by value as an interface in hotpath %s boxes it onto the heap; pass a pointer or use a concrete-typed container", at.Type.String(), fd.Name.Name)
+	}
+}
+
+// isPointerSized reports whether converting t to an interface stores a
+// pointer directly instead of heap-allocating a copy.
+func isPointerSized(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	}
+	return false
+}

@@ -15,13 +15,12 @@ import (
 var IdentCompare = &Analyzer{
 	Name: "identcompare",
 	Doc:  "flag raw </>/− arithmetic on ident.ID outside internal/ident (breaks at ring wrap-around)",
-	Run:  runIdentCompare,
+	// The one package allowed to do raw ID arithmetic.
+	Exclude: []string{"internal/ident"},
+	Run:     runIdentCompare,
 }
 
 func runIdentCompare(pass *Pass) {
-	if hasPathSuffix(pass.Path, "internal/ident") {
-		return // the one package allowed to do raw ID arithmetic
-	}
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			be, ok := n.(*ast.BinaryExpr)

@@ -26,15 +26,13 @@ var layerForbidden = []string{"internal/sim", "internal/faults", "internal/par"}
 // would silently re-entangle the layers; this analyzer makes the
 // boundary machine-checked instead of comment-enforced.
 var Layercheck = &Analyzer{
-	Name: "layercheck",
-	Doc:  "keep the runtime-agnostic protocol core (lbnode) free of sim/faults/par imports and goroutines",
-	Run:  runLayercheck,
+	Name:  "layercheck",
+	Doc:   "keep the runtime-agnostic protocol core (lbnode) free of sim/faults/par imports and goroutines",
+	Scope: LayerPkgs,
+	Run:   runLayercheck,
 }
 
 func runLayercheck(pass *Pass) {
-	if !pkgInScope(pass.Path, LayerPkgs) {
-		return
-	}
 	for _, file := range pass.Files {
 		for _, imp := range file.Imports {
 			path, err := strconv.Unquote(imp.Path.Value)

@@ -11,8 +11,11 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Package is one loaded, type-checked package ready for analysis.
@@ -30,14 +33,35 @@ type Package struct {
 // recursively from source by the loader itself; everything else
 // (stdlib) goes through the compiler's source importer. No go/packages,
 // no export data, no subprocesses.
+//
+// Loading is concurrency-safe: LoadModule type-checks independent
+// packages in parallel, module-internal imports deduplicate through a
+// shared per-path type-check cache (each dependency's export view is
+// checked exactly once, by whichever goroutine gets there first), and
+// the stdlib source importer — which is not safe for concurrent use —
+// is serialized behind its own mutex.
 type Loader struct {
 	Fset       *token.FileSet
 	ModuleRoot string
 	ModulePath string
 
-	ctx   build.Context
+	ctx build.Context
+
+	stdMu sync.Mutex // the compiler source importer is single-threaded
 	std   types.Importer
-	cache map[string]*types.Package
+
+	mu    sync.Mutex // guards cache
+	cache map[string]*importTask
+}
+
+// importTask is the shared type-check cache's per-path singleflight
+// slot: the first goroutine to request a module-internal import loads
+// it and closes done; everyone else blocks on done and shares the
+// result.
+type importTask struct {
+	done chan struct{}
+	pkg  *types.Package
+	err  error
 }
 
 // NewLoader locates the module containing dir (by walking up to the
@@ -69,7 +93,7 @@ func NewLoader(dir string) (*Loader, error) {
 		ModulePath: modPath,
 		ctx:        build.Default,
 		std:        importer.ForCompiler(fset, "source", nil),
-		cache:      make(map[string]*types.Package),
+		cache:      make(map[string]*importTask),
 	}, nil
 }
 
@@ -89,30 +113,47 @@ func modulePath(gomod string) (string, error) {
 }
 
 // Import implements types.Importer: module-internal paths load from
-// source through the loader (export view, without test files);
-// anything else is delegated to the stdlib source importer.
+// source through the loader (export view, without test files), each
+// checked exactly once and shared through the cache; anything else is
+// delegated to the (serialized) stdlib source importer. Concurrent
+// imports of the same internal path block on the first loader rather
+// than duplicating the type-check; the recursive dependency chain runs
+// with no lock held, so disjoint subtrees load in parallel.
 func (l *Loader) Import(path string) (*types.Package, error) {
-	if rel, ok := l.moduleRel(path); ok {
-		if pkg, ok := l.cache[path]; ok {
-			return pkg, nil
-		}
-		dir := filepath.Join(l.ModuleRoot, filepath.FromSlash(rel))
-		bp, err := l.ctx.ImportDir(dir, 0)
-		if err != nil {
-			return nil, fmt.Errorf("import %q: %w", path, err)
-		}
-		files, err := l.parse(dir, bp.GoFiles)
-		if err != nil {
-			return nil, err
-		}
-		pkg, err := l.check(path, files, nil)
-		if err != nil {
-			return nil, err
-		}
-		l.cache[path] = pkg
-		return pkg, nil
+	rel, ok := l.moduleRel(path)
+	if !ok {
+		l.stdMu.Lock()
+		defer l.stdMu.Unlock()
+		return l.std.Import(path)
 	}
-	return l.std.Import(path)
+	l.mu.Lock()
+	task, ok := l.cache[path]
+	if ok {
+		l.mu.Unlock()
+		<-task.done
+		return task.pkg, task.err
+	}
+	task = &importTask{done: make(chan struct{})}
+	l.cache[path] = task
+	l.mu.Unlock()
+
+	task.pkg, task.err = l.importInternal(path, rel)
+	close(task.done)
+	return task.pkg, task.err
+}
+
+// importInternal loads the export view of one module-internal package.
+func (l *Loader) importInternal(path, rel string) (*types.Package, error) {
+	dir := filepath.Join(l.ModuleRoot, filepath.FromSlash(rel))
+	bp, err := l.ctx.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("import %q: %w", path, err)
+	}
+	files, err := l.parse(dir, bp.GoFiles)
+	if err != nil {
+		return nil, err
+	}
+	return l.check(path, files, nil)
 }
 
 // moduleRel maps a module-internal import path to its module-relative
@@ -233,7 +274,11 @@ func (l *Loader) importPathFor(abs string) string {
 
 // LoadModule walks the module tree and loads every package in it,
 // skipping vendor, testdata, hidden and underscore-prefixed
-// directories — the same pruning the go tool applies.
+// directories — the same pruning the go tool applies. Directories are
+// parsed and type-checked in parallel (bounded by GOMAXPROCS); shared
+// dependencies deduplicate through the import cache, and the returned
+// slice is in deterministic sorted-directory order regardless of which
+// goroutine finished first.
 func (l *Loader) LoadModule() ([]*Package, error) {
 	var dirs []string
 	err := filepath.WalkDir(l.ModuleRoot, func(p string, d os.DirEntry, err error) error {
@@ -255,13 +300,38 @@ func (l *Loader) LoadModule() ([]*Package, error) {
 		return nil, err
 	}
 	sort.Strings(dirs)
+
+	perDir := make([][]*Package, len(dirs))
+	errs := make([]error, len(dirs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(dirs) {
+		workers = len(dirs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(dirs) {
+					return
+				}
+				perDir[i], errs[i] = l.LoadDir(dirs[i])
+			}
+		}()
+	}
+	wg.Wait()
 	var out []*Package
-	for _, dir := range dirs {
-		pkgs, err := l.LoadDir(dir)
-		if err != nil {
-			return nil, err
+	for i := range dirs {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
-		out = append(out, pkgs...)
+		out = append(out, perDir[i]...)
 	}
 	return out, nil
 }

@@ -22,13 +22,12 @@ import (
 var MetricsGuard = &Analyzer{
 	Name: "metricsguard",
 	Doc:  "require the nil-registry guard pattern around metric calls on hot paths",
-	Run:  runMetricsGuard,
+	// The metrics package owns its own internals.
+	Exclude: []string{"internal/metrics"},
+	Run:     runMetricsGuard,
 }
 
 func runMetricsGuard(pass *Pass) {
-	if hasPathSuffix(pass.Path, "internal/metrics") {
-		return // the metrics package owns its own internals
-	}
 	for _, file := range pass.Files {
 		inspectStack(file, func(n ast.Node, stack []ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)

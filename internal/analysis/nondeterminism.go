@@ -35,9 +35,10 @@ var DeterministicPkgs = []string{
 //     (addition isn't associative), or scheduling engine events in map
 //     order.
 var Nondeterminism = &Analyzer{
-	Name: "nondeterminism",
-	Doc:  "forbid wall clocks, global math/rand and order-sensitive map iteration in the deterministic packages",
-	Run:  runNondeterminism,
+	Name:  "nondeterminism",
+	Doc:   "forbid wall clocks, global math/rand and order-sensitive map iteration in the deterministic packages",
+	Scope: DeterministicPkgs,
+	Run:   runNondeterminism,
 }
 
 // globalRandAllowed are the math/rand top-level functions that do not
@@ -45,9 +46,6 @@ var Nondeterminism = &Analyzer{
 var globalRandAllowed = map[string]bool{"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true}
 
 func runNondeterminism(pass *Pass) {
-	if !pkgInScope(pass.Path, DeterministicPkgs) {
-		return
-	}
 	for _, file := range pass.Files {
 		inspectStack(file, func(n ast.Node, stack []ast.Node) bool {
 			switch x := n.(type) {
@@ -59,21 +57,6 @@ func runNondeterminism(pass *Pass) {
 			return true
 		})
 	}
-}
-
-// pkgInScope reports whether the package path matches one of the listed
-// suffixes. Analyzer test fixtures (anything under a testdata tree) are
-// always in scope so golden files exercise the rules directly.
-func pkgInScope(path string, suffixes []string) bool {
-	if strings.Contains(path, "/testdata/") {
-		return true
-	}
-	for _, s := range suffixes {
-		if hasPathSuffix(path, s) {
-			return true
-		}
-	}
-	return false
 }
 
 // checkForbiddenCall flags wall-clock reads and global math/rand use.

@@ -23,18 +23,9 @@ var RandContract = &Analyzer{
 	Run:  runRandContract,
 }
 
-// concurrentRegion is a source interval whose code executes on a
-// goroutine other than the spawner's.
-type concurrentRegion struct {
-	pos, end token.Pos
-	kind     string // "go statement" or "par worker callback"
-}
-
-func (r concurrentRegion) contains(p token.Pos) bool { return r.pos <= p && p < r.end }
-
 func runRandContract(pass *Pass) {
 	for _, file := range pass.Files {
-		regions := collectConcurrentRegions(pass, file)
+		regions := pass.ConcurrentRegions(file)
 		if len(regions) == 0 {
 			continue
 		}
@@ -50,45 +41,6 @@ func runRandContract(pass *Pass) {
 			return true
 		})
 	}
-}
-
-// collectConcurrentRegions finds the intervals of file that execute on
-// spawned goroutines: every `go` statement (the spawned call and any
-// function literal it runs) and every function-literal argument of a
-// call into internal/par (For, ForChunked, Map, MapErr — any exported
-// helper that fans callbacks out across workers).
-func collectConcurrentRegions(pass *Pass, file *ast.File) []concurrentRegion {
-	var regions []concurrentRegion
-	ast.Inspect(file, func(n ast.Node) bool {
-		switch x := n.(type) {
-		case *ast.GoStmt:
-			regions = append(regions, concurrentRegion{x.Pos(), x.End(), "go statement"})
-		case *ast.CallExpr:
-			fn := calleeFunc(pass.Info, x)
-			if fn == nil || fn.Pkg() == nil || !hasPathSuffix(fn.Pkg().Path(), "internal/par") {
-				return true
-			}
-			for _, arg := range x.Args {
-				if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
-					regions = append(regions, concurrentRegion{lit.Pos(), lit.End(), "par worker callback"})
-				}
-			}
-		}
-		return true
-	})
-	return regions
-}
-
-// regionOf returns the region containing p, preferring the innermost
-// (latest-starting) match so nested fan-outs report precisely.
-func regionOf(regions []concurrentRegion, p token.Pos) *concurrentRegion {
-	var best *concurrentRegion
-	for i := range regions {
-		if regions[i].contains(p) && (best == nil || regions[i].pos > best.pos) {
-			best = &regions[i]
-		}
-	}
-	return best
 }
 
 // checkEngineRandCall flags X.Rand() calls on a sim.Engine that is
@@ -137,22 +89,6 @@ func checkInjectorCall(pass *Pass, call *ast.CallExpr, regions []concurrentRegio
 	pass.Reportf(call.Pos(), "%s.%s() on a captured *faults.Injector inside a %s: fault streams are single-goroutine; build one injector per trial engine inside the fan-out", exprString(sel.X), fn.Name(), region.kind)
 }
 
-// methodOnType reports whether fn is any method of recvPkgSuffix.recvType.
-func methodOnType(fn *types.Func, recvPkgSuffix, recvType string) bool {
-	if fn == nil {
-		return false
-	}
-	sig, ok := fn.Type().(*types.Signature)
-	if !ok || sig.Recv() == nil {
-		return false
-	}
-	rt := sig.Recv().Type()
-	if ptr, ok := rt.(*types.Pointer); ok {
-		rt = ptr.Elem()
-	}
-	return isPkgType(rt, recvPkgSuffix, recvType)
-}
-
 // checkCapturedRand flags reads of *math/rand.Rand values that are
 // captured from outside the concurrent region (locals and fields
 // alike).
@@ -176,25 +112,6 @@ func checkCapturedRand(pass *Pass, e ast.Expr, regions []concurrentRegion, repor
 	}
 	reported[e.Pos()] = true
 	pass.Reportf(e.Pos(), "captured *rand.Rand %s used inside a %s: RNGs are single-goroutine; create one per worker from a derived seed", exprString(e), region.kind)
-}
-
-// declaredInside reports whether the root identifier of e refers to an
-// object declared inside the region — i.e. worker-local state. An
-// unresolvable root (call-expression result, literal) counts as
-// captured: the value flowed in from outside.
-func declaredInside(pass *Pass, e ast.Expr, region *concurrentRegion) bool {
-	root := rootIdent(ast.Unparen(e))
-	if root == nil {
-		return false
-	}
-	obj := pass.Info.Uses[root]
-	if obj == nil {
-		obj = pass.Info.Defs[root]
-	}
-	if obj == nil {
-		return false
-	}
-	return region.contains(obj.Pos())
 }
 
 func isMathRandPtr(t types.Type) bool {

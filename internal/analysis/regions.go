@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// concurrentRegion is a source interval whose code executes on a
+// goroutine other than the spawner's. Regions are a shared package
+// fact: randcontract (RNG capture) and floatorder (completion-order
+// float merges) both interpret code against them, through
+// Pass.ConcurrentRegions.
+type concurrentRegion struct {
+	pos, end token.Pos
+	kind     string // "go statement" or "par worker callback"
+}
+
+func (r concurrentRegion) contains(p token.Pos) bool { return r.pos <= p && p < r.end }
+
+// collectConcurrentRegions finds the intervals of file that execute on
+// spawned goroutines: every `go` statement (the spawned call and any
+// function literal it runs) and every function-literal argument of a
+// call into internal/par (For, ForChunked, Map, MapErr — any exported
+// helper that fans callbacks out across workers).
+func collectConcurrentRegions(pass *Pass, file *ast.File) []concurrentRegion {
+	var regions []concurrentRegion
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			regions = append(regions, concurrentRegion{x.Pos(), x.End(), "go statement"})
+		case *ast.CallExpr:
+			fn := calleeFunc(pass.Info, x)
+			if fn == nil || fn.Pkg() == nil || !hasPathSuffix(fn.Pkg().Path(), "internal/par") {
+				return true
+			}
+			for _, arg := range x.Args {
+				if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+					regions = append(regions, concurrentRegion{lit.Pos(), lit.End(), "par worker callback"})
+				}
+			}
+		}
+		return true
+	})
+	return regions
+}
+
+// regionOf returns the region containing p, preferring the innermost
+// (latest-starting) match so nested fan-outs report precisely.
+func regionOf(regions []concurrentRegion, p token.Pos) *concurrentRegion {
+	var best *concurrentRegion
+	for i := range regions {
+		if regions[i].contains(p) && (best == nil || regions[i].pos > best.pos) {
+			best = &regions[i]
+		}
+	}
+	return best
+}
+
+// declaredInside reports whether the root identifier of e refers to an
+// object declared inside the region — i.e. worker-local state. An
+// unresolvable root (call-expression result, literal) counts as
+// captured: the value flowed in from outside.
+func declaredInside(pass *Pass, e ast.Expr, region *concurrentRegion) bool {
+	root := rootIdent(ast.Unparen(e))
+	if root == nil {
+		return false
+	}
+	obj := pass.Info.Uses[root]
+	if obj == nil {
+		obj = pass.Info.Defs[root]
+	}
+	if obj == nil {
+		return false
+	}
+	return region.contains(obj.Pos())
+}

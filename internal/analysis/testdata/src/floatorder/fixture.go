@@ -1,0 +1,69 @@
+// Fixture for the floatorder analyzer: shared float accumulators
+// updated from goroutines or par worker callbacks sum in
+// worker-completion order.
+package floatorder
+
+import "p2plb/internal/par"
+
+// badGoSum accumulates into a captured float from a goroutine.
+func badGoSum(xs []float64) float64 {
+	var sum float64
+	done := make(chan struct{})
+	go func() {
+		for _, v := range xs {
+			sum += v // want "worker-completion order"
+		}
+		close(done)
+	}()
+	<-done
+	return sum
+}
+
+// badParSum accumulates into a captured float from a par callback: the
+// racing += merges partial sums in whatever order workers finish.
+func badParSum(xs []float64) float64 {
+	var sum float64
+	par.For(len(xs), 4, func(i int) {
+		sum += xs[i] // want "worker-completion order"
+	})
+	return sum
+}
+
+// goodPerTaskSlots is the sanctioned pattern: each task owns its index,
+// and the merge folds the slots in task order afterwards.
+func goodPerTaskSlots(xs []float64) float64 {
+	partial := make([]float64, len(xs))
+	par.For(len(xs), 4, func(i int) {
+		partial[i] += xs[i]
+	})
+	var sum float64
+	for _, p := range partial {
+		sum += p
+	}
+	return sum
+}
+
+// goodChunkLocal accumulates into a region-local variable and writes it
+// to an owned slot: local state is worker-private.
+func goodChunkLocal(xs []float64, out []float64) {
+	par.ForChunked(len(xs), 2, func(lo, hi int) {
+		local := 0.0
+		for i := lo; i < hi; i++ {
+			local += xs[i]
+		}
+		out[lo] = local
+	})
+}
+
+// goodIntCount shows the type gate: integer accumulation commutes
+// exactly, so a racing int counter is a race (caught by -race and
+// randcontract's domain) but not a float-ordering problem.
+func goodIntCount(xs []float64) int {
+	n := 0
+	par.For(len(xs), 4, func(i int) {
+		if xs[i] > 0 {
+			n++ // IncDec, not a float op-assign: out of scope here
+		}
+	})
+	return n
+}

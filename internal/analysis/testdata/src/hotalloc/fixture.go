@@ -1,0 +1,58 @@
+// Fixture for the hotalloc analyzer: allocation-causing constructs are
+// flagged only inside //lbvet:hotpath-annotated functions.
+package hotalloc
+
+import "fmt"
+
+type item struct{ a, b int }
+
+func sink(v interface{}) { _ = v }
+
+//lbvet:hotpath
+func badHot(buf []int, n int) []int {
+	s := fmt.Sprintf("key.%d", n) // want "fmt.Sprintf"
+	_ = s
+	m := map[int]int{} // want "map literal"
+	_ = m
+	xs := []int{1, 2} // want "slice literal"
+	_ = xs
+	tmp := make([]int, n) // want "make in hotpath"
+	_ = tmp
+	p := new(item) // want "new in hotpath"
+	_ = p
+	q := &item{a: 1} // want "heap-allocates"
+	_ = q
+	f := func() {} // want "closure literal"
+	_ = f
+	sink(item{a: 1, b: 2}) // want "boxes"
+	buf = append(buf, n)   // want "append in hotpath"
+	return buf
+}
+
+// goodHot is annotated but allocation-free: reductions over
+// preallocated state.
+//
+//lbvet:hotpath
+func goodHot(buf []int) int {
+	sum := 0
+	for _, v := range buf {
+		sum += v
+	}
+	return sum
+}
+
+// goodHotPointer passes a pointer as an interface: pointer-sized values
+// do not box.
+//
+//lbvet:hotpath
+func goodHotPointer(it *item) {
+	sink(it)
+}
+
+// goodCold is not annotated: the same constructs are fine off the hot
+// path.
+func goodCold(n int) map[int]int {
+	m := make(map[int]int, n)
+	m[n] = n
+	return m
+}

@@ -15,3 +15,11 @@ func notSuppressed(a, b ident.ID) bool {
 	//lbvet:ignore identcompare
 	return a < b
 }
+
+// staleName: an ignore naming an analyzer that is not registered (a
+// renamed or deleted check) is itself reported, so annotations cannot
+// silently rot.
+func staleName(x int) int {
+	//lbvet:ignore idcompare renamed long ago, this directive is stale
+	return x + 1
+}

@@ -526,10 +526,13 @@ func (r *Ring) findVS(id ident.ID) (*VServer, bool) {
 // Successor returns the virtual server owning key: the first VS at or
 // clockwise after key. It is the ground truth the routed lookup must
 // agree with. It returns nil on an empty ring.
+//
+//lbvet:hotpath
 func (r *Ring) Successor(key ident.ID) *VServer {
 	if len(r.vss) == 0 {
 		return nil
 	}
+	//lbvet:ignore hotalloc the sort.Search closure does not escape (Search inlines); no per-call allocation
 	pos := sort.Search(len(r.vss), func(i int) bool { return r.vss[i].ID >= key }) //lbvet:ignore identcompare binary search in the ID-sorted array; pos%len below is the wrap
 	return r.vss[pos%len(r.vss)]
 }

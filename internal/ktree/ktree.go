@@ -400,6 +400,8 @@ func (d *dirtySet) overlapsLinear(lo, hi uint64) bool {
 
 // overlaps reports whether the region shares an identifier with any
 // dirty interval. A nil set (full rebuild) is treated as all-dirty.
+//
+//lbvet:hotpath
 func (d *dirtySet) overlaps(r ident.Region) bool {
 	if d == nil {
 		return true

@@ -125,6 +125,10 @@ func SweepVSA(tree *ktree.Tree, inbox map[*ktree.Node]*core.PairList, lmin float
 		sink.add(col.Rendezvous(n.Parent == nil, threshold, lmin))
 		return col.Lists()
 	})
+	// By the time reduce returns, every worker that called sink.add has
+	// been joined through the per-node channels, so the sink is
+	// quiescent and this read cannot race the locked writers.
+	//lbvet:ignore lockguard reduce joins all workers before this read; the sink is quiescent
 	return sink.pairs, left
 }
 

@@ -143,11 +143,15 @@ func (e *Engine) Metrics() *metrics.Registry { return e.reg }
 // Schedule runs fn after delay units of virtual time. A zero delay runs
 // fn after all events already scheduled for the current instant.
 // Negative delays panic.
+//
+//lbvet:hotpath
 func (e *Engine) Schedule(delay Time, fn func()) {
 	if delay < 0 {
+		//lbvet:ignore hotalloc panic guard, never taken on correct runs
 		panic(fmt.Sprintf("sim: negative delay %d", delay))
 	}
 	e.seq++
+	//lbvet:ignore hotalloc container/heap boxes each event; the arena/index-heap rework is a ROADMAP item
 	heap.Push(&e.events, event{at: e.now + delay, seq: e.seq, fn: fn})
 	if e.queueDepth != nil {
 		e.queueDepth.Observe(int64(len(e.events)))
@@ -175,6 +179,8 @@ func (e *Engine) Every(interval Time, fn func()) (cancel func()) {
 
 // Step executes the next pending event, advancing virtual time to its
 // timestamp. It reports whether an event was executed.
+//
+//lbvet:hotpath
 func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
@@ -217,6 +223,8 @@ func (e *Engine) Executed() uint64 { return e.executed }
 // given delivery cost (latency units). Protocol code calls this once per
 // simulated message so experiments can report per-phase message and
 // bandwidth-proxy totals.
+//
+//lbvet:hotpath
 func (e *Engine) CountMessage(kind string, cost Time) {
 	e.msgCount[kind]++
 	e.msgCost[kind] += int64(cost)
@@ -277,6 +285,8 @@ func (e *Engine) Filter() MessageFilter { return e.filter }
 // duplication, extra latency models jitter. Delivery, loss and retry
 // are executor concerns — the lbnode state machines this transports
 // messages for never see the engine.
+//
+//lbvet:hotpath
 func (e *Engine) Deliver(kind string, src, dst int, cost Time, fn func()) {
 	if e.filter == nil {
 		e.CountMessage(kind, cost)
@@ -286,6 +296,7 @@ func (e *Engine) Deliver(kind string, src, dst int, cost Time, fn func()) {
 	copies := e.filter.Deliveries(kind, src, dst, e.now, cost)
 	if len(copies) == 0 {
 		if e.dropped == nil {
+			//lbvet:ignore hotalloc lazy once-per-engine init on the drop path, only reached under fault plans
 			e.dropped = make(map[string]int64)
 		}
 		e.dropped[kind]++
