@@ -9,10 +9,12 @@
 # floatorder) — see DESIGN.md "Enforced invariants". The race pass
 # covers the packages that exercise real concurrency (livenet's
 # goroutine-per-subtree rounds, par's worker pools, sim's engine
-# contract, ktree's, daemon's and faults' goroutine-spawning tests, and
+# contract, ktree's, daemon's and faults' goroutine-spawning tests,
 # lbnode — whose machines are single-goroutine by construction but
 # whose cross-executor equivalence test drives the concurrent livenet
-# rounds); the rest of the tree is single-goroutine by design.
+# rounds — and protocol, whose opt-in parallel subtree stepper runs
+# one goroutine per root-child subtree); the rest of the tree is
+# single-goroutine by design.
 #
 # The project binaries (lbvet, lbbench) are built exactly once into a
 # temp dir and reused by every later step — `go run` would rebuild
@@ -55,7 +57,7 @@ echo "== go test"
 go test ./...
 
 echo "== go test -race (concurrent packages)"
-go test -race ./internal/livenet/ ./internal/par/ ./internal/sim/ ./internal/ktree/ ./internal/daemon/ ./internal/faults/ ./internal/lbnode/
+go test -race ./internal/livenet/ ./internal/par/ ./internal/sim/ ./internal/ktree/ ./internal/daemon/ ./internal/faults/ ./internal/lbnode/ ./internal/protocol/
 
 echo "== lbbench scale smoke (time-boxed, determinism-diffed)"
 # A small scale run keeps the O(log n) maintenance path honest without
@@ -82,6 +84,18 @@ fi
 rm -rf "$tmp1" "$tmp2"
 tmp1=
 tmp2=
+
+echo "== lbbench runtime smoke (time-boxed, executor-equivalence-gated)"
+# A small cross-executor round: the runtime benchmark runs the same
+# balancing round under the deterministic-sim driver (internal/protocol)
+# and the concurrent channel executor (internal/livenet) and fails hard
+# inside runRuntime if the transfer sets differ — the gate that caught
+# the intermediate-rendezvous divergence this smoke exists to keep
+# caught. 8k VSs keeps it under a second; 120 s means a hang.
+tmp1=$(mktemp -d)
+timeout 120 "$bin/lbbench" -bench runtime -runtimesizes 8000 -out "$tmp1"
+rm -rf "$tmp1"
+tmp1=
 
 echo "== lbbench fault smoke (time-boxed, determinism-diffed)"
 # A small drop-rate sweep plus partition recovery, run twice at the same

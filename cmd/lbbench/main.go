@@ -74,9 +74,15 @@ func main() {
 		graphs     = flag.Int("graphs", 10, "topology instances for fig7")
 		bench      = flag.String("bench", "fig4,vsatime", "comma-separated benchmarks: fig4, fig7, vsatime, scale, faults, runtime")
 		scalesizes = flag.String("scalesizes", "64000,256000,1000000", "comma-separated virtual-server counts for the scale benchmark")
+		runsizes   = flag.String("runtimesizes", "64000,256000", "comma-separated virtual-server counts for the runtime benchmark")
 	)
 	flag.Parse()
 	sizes, err := parseSizes(*scalesizes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbbench:", err)
+		os.Exit(1)
+	}
+	rtSizes, err := parseSizes(*runsizes)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lbbench:", err)
 		os.Exit(1)
@@ -86,7 +92,7 @@ func main() {
 		if name == "" {
 			continue
 		}
-		if err := runBench(name, *out, *seed, *nodes, *graphs, sizes); err != nil {
+		if err := runBench(name, *out, *seed, *nodes, *graphs, sizes, rtSizes); err != nil {
 			fmt.Fprintln(os.Stderr, "lbbench:", err)
 			os.Exit(1)
 		}
@@ -109,7 +115,7 @@ func parseSizes(s string) ([]int, error) {
 	return sizes, nil
 }
 
-func runBench(name, out string, seed int64, nodes, graphs int, scaleSizes []int) error {
+func runBench(name, out string, seed int64, nodes, graphs int, scaleSizes, runtimeSizes []int) error {
 	reg := metrics.NewRegistry()
 	cfg := benchConfig{Seed: seed, Nodes: nodes, Epsilon: 0.05}
 	start := time.Now()
@@ -351,9 +357,6 @@ func runScale(seed int64, scaleSizes []int) ([]scaleRow, error) {
 	return rows, nil
 }
 
-// runtimeSizes is the virtual-server grid of the runtime benchmark.
-var runtimeSizes = []int{64_000, 256_000}
-
 // runtimeRow compares the two executors that drive the internal/lbnode
 // state machines over the same system: the deterministic-sim driver
 // (internal/protocol, every message an engine event) and the concurrent
@@ -440,16 +443,45 @@ func runRuntime(seed int64, sizes []int) ([]runtimeRow, error) {
 			return nil, err
 		}
 		start = time.Now()
-		lres, err := livenet.RunRound(ring, tree, coreCfg, seed+1000)
+		lres, err := livenet.RunRound(ring, tree, coreCfg)
 		if err != nil {
 			return nil, err
 		}
 		row.LivenetMS = time.Since(start).Milliseconds()
 		row.LivenetTransfers = len(lres.Assignments)
+		if err := sameTransferSet(res.Assignments, lres.Assignments); err != nil {
+			return nil, fmt.Errorf("runtime %d VSs: executors diverged: %w", vsCount, err)
+		}
 
 		rows = append(rows, row)
 		fmt.Printf("lbbench: runtime %d VSs: protocol %d ms (%d transfers), livenet %d ms (%d transfers)\n",
 			row.VServers, row.ProtocolMS, row.ProtocolTransfers, row.LivenetMS, row.LivenetTransfers)
 	}
 	return rows, nil
+}
+
+// sameTransferSet verifies the two executors produced the identical
+// transfer set — same virtual servers, same endpoints, same loads —
+// with pairs identified by value (VS ID and node indices) so the check
+// works across the two independently built ring instances.
+func sameTransferSet(proto []core.Assignment, live []core.Pair) error {
+	if len(proto) != len(live) {
+		return fmt.Errorf("protocol moved %d VSs, livenet moved %d", len(proto), len(live))
+	}
+	seen := make(map[string]float64, len(proto))
+	for _, p := range proto {
+		seen[fmt.Sprintf("%v:%d->%d", p.VS.ID, p.From.Index, p.To.Index)] = p.Load
+	}
+	for _, p := range live {
+		k := fmt.Sprintf("%v:%d->%d", p.VS.ID, p.From.Index, p.To.Index)
+		load, ok := seen[k]
+		if !ok {
+			return fmt.Errorf("livenet pair %s has no protocol counterpart", k)
+		}
+		if load != p.Load {
+			return fmt.Errorf("pair %s: protocol moved %v load, livenet %v", k, load, p.Load)
+		}
+		delete(seen, k)
+	}
+	return nil
 }

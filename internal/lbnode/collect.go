@@ -3,13 +3,24 @@ package lbnode
 import "p2plb/internal/core"
 
 // LBICollect is the LBI converge-cast epoch at one KT node: the local
-// reports merge at construction, each child subtree's reply merges as it
-// arrives, and the epoch closes exactly once — when the last child
-// replies, or when the executor's timer expires it with partial data.
-// Replies after the close are absorbed without effect (the executor
-// still acknowledges them so the sender stops retransmitting).
+// reports merge at construction, each child subtree's reply is buffered
+// under its child index as it arrives, and the epoch closes exactly
+// once — when the last child replies, or when the executor's timer
+// expires it with partial data. Replies after the close are absorbed
+// without effect (the executor still acknowledges them so the sender
+// stops retransmitting).
+//
+// Buffering instead of merging on arrival is what makes the aggregate
+// executor-independent: LBI merging adds floats, so the parenthesization
+// matters in the last ulp. Aggregate folds locals first, then children
+// in child-index order, no matter in which order the replies physically
+// arrived — the sim executor (replies land in message order) and the
+// concurrent executor (replies land in completion order) produce the
+// bit-identical global tuple.
 type LBICollect struct {
-	agg     core.LBI
+	local   core.LBI
+	subs    []core.LBI
+	got     []bool
 	pending int
 	closed  bool
 }
@@ -19,24 +30,38 @@ type LBICollect struct {
 // or an internal node whose slots are all empty) the epoch is complete
 // immediately.
 func NewLBICollect(reports []core.LBI, children int) *LBICollect {
-	c := &LBICollect{pending: children}
+	c := MakeLBICollect(reports, children)
+	return &c
+}
+
+// MakeLBICollect is NewLBICollect in value form, for embedding the
+// machine inside a caller-owned walk object (or, for a leaf that
+// completes immediately, on the caller's stack) instead of a separate
+// heap allocation per tree node.
+func MakeLBICollect(reports []core.LBI, children int) LBICollect {
+	c := LBICollect{pending: children}
 	for _, rep := range reports {
-		c.agg = c.agg.Merge(rep)
+		c.local = c.local.Merge(rep)
 	}
-	if c.pending == 0 {
+	if children > 0 {
+		c.subs = make([]core.LBI, children)
+		c.got = make([]bool, children)
+	} else {
 		c.closed = true
 	}
 	return c
 }
 
-// ChildReply merges one child subtree's aggregate. It returns true when
-// this reply completes the epoch; a reply after the epoch closed is
+// ChildReply buffers the aggregate of the child subtree at index idx.
+// It returns true when this reply completes the epoch; a reply after
+// the epoch closed, or a duplicate for an index already answered, is
 // absorbed and returns false.
-func (c *LBICollect) ChildReply(sub core.LBI) bool {
-	if c.closed {
+func (c *LBICollect) ChildReply(idx int, sub core.LBI) bool {
+	if c.closed || c.got[idx] {
 		return false
 	}
-	c.agg = c.agg.Merge(sub)
+	c.subs[idx] = sub
+	c.got[idx] = true
 	c.pending--
 	if c.pending == 0 {
 		c.closed = true
@@ -59,9 +84,18 @@ func (c *LBICollect) Expire() (timedOut int, expired bool) {
 // Done reports whether the epoch has closed.
 func (c *LBICollect) Done() bool { return c.closed }
 
-// Aggregate returns the merged LBI gathered so far. Meaningful once the
-// epoch closed (complete or expired).
-func (c *LBICollect) Aggregate() core.LBI { return c.agg }
+// Aggregate folds the merged LBI gathered so far — locals first, then
+// the buffered child replies in child-index order (missing children,
+// after an expiry, are skipped). Meaningful once the epoch closed.
+func (c *LBICollect) Aggregate() core.LBI {
+	agg := c.local
+	for i, sub := range c.subs {
+		if c.got[i] {
+			agg = agg.Merge(sub)
+		}
+	}
+	return agg
+}
 
 // VSACollect is the VSA converge-cast epoch at one KT node: the node's
 // own inbox of advertisements seeds the list, children's unpaired lists
@@ -79,10 +113,16 @@ type VSACollect struct {
 // The inbox PairList is consumed: pairing and upward propagation mutate
 // it in place.
 func NewVSACollect(inbox *core.PairList, children int) *VSACollect {
+	c := MakeVSACollect(inbox, children)
+	return &c
+}
+
+// MakeVSACollect is NewVSACollect in value form — see MakeLBICollect.
+func MakeVSACollect(inbox *core.PairList, children int) VSACollect {
 	if inbox == nil {
 		inbox = &core.PairList{}
 	}
-	c := &VSACollect{lists: inbox, pending: children}
+	c := VSACollect{lists: inbox, pending: children}
 	if c.pending == 0 {
 		c.closed = true
 	}

@@ -6,14 +6,16 @@
 // machines (or, for the Balancer, the same core primitives beneath
 // them), so any divergence is an executor bug, not an algorithm fork.
 //
-// The cases pin RendezvousThreshold to -1 (pairing only at the root):
-// with intermediate rendezvous, WHERE an advertisement enters the tree
-// — a per-executor randomized choice — decides which rendezvous point
-// pools it, so pair sets are only executor-invariant when everything
-// pools at the root. Root-only pooling is exactly the projection of the
-// scheme that does not depend on entry placement: the root list is the
-// same multiset for every executor, and PairList.Pair canonicalizes by
-// sorting before matching.
+// The three-way cases pin RendezvousThreshold to -1 (pairing only at
+// the root) because core.Balancer has no placement notion: root-only
+// pooling is the projection of the scheme that does not depend on entry
+// placement, so it is the strongest claim the closed-form reference can
+// join. Between the two message-driven executors the claim is stronger:
+// both consume the canonical placement pre-pass (lbnode.PlaceRound), so
+// WHERE each advertisement enters the tree — and therefore which
+// intermediate rendezvous point pools it — is identical by
+// construction, and TestIntermediateRendezvousEquivalence pins exact
+// transfer-set equality at the paper-default threshold too.
 package lbnode_test
 
 import (
@@ -28,6 +30,7 @@ import (
 	"p2plb/internal/livenet"
 	"p2plb/internal/protocol"
 	"p2plb/internal/sim"
+	"p2plb/internal/topology"
 	"p2plb/internal/workload"
 )
 
@@ -131,7 +134,7 @@ func runProtocol(t *testing.T, seed int64, nodes, vsPer int, cfg core.Config, wi
 func runLivenet(t *testing.T, seed int64, nodes, vsPer int, cfg core.Config) outcome {
 	t.Helper()
 	ring, tree := buildRing(t, seed, nodes, vsPer)
-	res, err := livenet.RunRound(ring, tree, cfg, seed+1000)
+	res, err := livenet.RunRound(ring, tree, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,6 +214,93 @@ func TestCrossExecutorEquivalence(t *testing.T) {
 			comparePairs(t, "livenet", ref, runLivenet(t, tc.seed, tc.nodes, tc.vsPer, cfg))
 		})
 	}
+}
+
+// buildBenchRing is the lbbench runtime-fixture shape (bulk-added
+// nodes, 5 VSs each, tight Gaussian): the shape where the pre-fix
+// executors diverged under intermediate rendezvous — at 8000 VSs and
+// the default threshold, 3656 of 3833 transfers differed between
+// protocol and livenet even though the counts happened to match.
+func buildBenchRing(t *testing.T, seed int64, vsCount int) (*chord.Ring, *ktree.Tree) {
+	t.Helper()
+	const vsPerNode = 5
+	n := vsCount / vsPerNode
+	profile := workload.GnutellaProfile()
+	eng := sim.NewEngine(seed)
+	ring := chord.NewRing(eng, chord.Config{})
+	ring.BulkAddNodes(n, vsPerNode,
+		func(int) topology.NodeID { return -1 },
+		func(int) float64 { return profile.Sample(eng.Rand()) })
+	mu := float64(n) * 100
+	model := workload.Gaussian{Mu: mu, Sigma: mu / 200}
+	for _, vs := range ring.VServers() {
+		vs.Load = model.Load(eng.Rand(), ring.RegionOf(vs).Fraction())
+	}
+	tree, err := ktree.New(ring, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Build(); err != nil {
+		t.Fatal(err)
+	}
+	return ring, tree
+}
+
+// TestIntermediateRendezvousEquivalence pins the fix for the
+// cross-executor transfer divergence: with intermediate rendezvous
+// enabled (threshold 0 → the paper default of 30), which entries pool
+// at which interior KT node is decided entirely by report placement.
+// Before the canonical placement pre-pass each executor drew placements
+// from its own RNG stream, so the transfer SETS diverged wholesale
+// while the counts coincidentally matched at this size (and stopped
+// matching at 256k). The claim here is exact set equality — same VSs,
+// same endpoints, same loads — plus a bit-identical global tuple (the
+// indexed LBICollect fold fixes the float parenthesization).
+func TestIntermediateRendezvousEquivalence(t *testing.T) {
+	const seed, vsCount = 1, 8000
+	cfg := core.Config{Epsilon: 0.05} // RendezvousThreshold 0 → default 30
+
+	ring, tree := buildBenchRing(t, seed, vsCount)
+	r, err := protocol.NewRunner(ring, tree, protocol.Config{Core: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res *protocol.Result
+	var resErr error
+	if err := r.StartRound(func(out *protocol.Result, err error) { res, resErr = out, err }); err != nil {
+		t.Fatal(err)
+	}
+	ring.Engine().Run()
+	if resErr != nil {
+		t.Fatal(resErr)
+	}
+	if res == nil {
+		t.Fatal("protocol round never completed")
+	}
+	proto := outcome{global: res.Global, pairs: make(map[string]float64), unassigned: res.UnassignedOffers, gini: livenet.UnitLoadGini(ring)}
+	for _, a := range res.Assignments {
+		proto.pairs[pairKey(a.VS, a.From, a.To)] = a.Load
+	}
+
+	ring2, tree2 := buildBenchRing(t, seed, vsCount)
+	lres, err := livenet.RunRound(ring2, tree2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := outcome{global: lres.Global, pairs: make(map[string]float64), unassigned: lres.UnassignedOffers, gini: livenet.UnitLoadGini(ring2)}
+	for _, p := range lres.Assignments {
+		live.pairs[pairKey(p.VS, p.From, p.To)] = p.Load
+	}
+
+	if len(proto.pairs) == 0 {
+		t.Fatal("fixture too tame: protocol round paired nothing")
+	}
+	// Exact global tuple, not tolerance: both executors fold the same
+	// placement through the same index-ordered merge tree.
+	if proto.global != live.global {
+		t.Errorf("global tuple diverged: protocol %+v, livenet %+v", proto.global, live.global)
+	}
+	comparePairs(t, "intermediate-rendezvous", proto, live)
 }
 
 // TestEmptyFaultPlanIsPassthrough pins the stronger protocol-level

@@ -30,10 +30,16 @@ func TestLBICollectLifecycle(t *testing.T) {
 	if col.Done() {
 		t.Fatal("epoch with pending children closed early")
 	}
-	if done := col.ChildReply(lbi(1, 2, 2)); done { // L=4 Lmin=2
+	// Replies arrive out of child order; the machine buffers them and
+	// folds in index order.
+	if done := col.ChildReply(1, lbi(1, 2, 2)); done { // L=4 Lmin=2
 		t.Fatal("first of two replies completed the epoch")
 	}
-	if done := col.ChildReply(lbi(2, 1, 7)); !done { // L=8 Lmin=1
+	// A duplicate for an already-answered index is absorbed.
+	if done := col.ChildReply(1, lbi(50, 50)); done {
+		t.Fatal("duplicate reply completed the epoch")
+	}
+	if done := col.ChildReply(0, lbi(2, 1, 7)); !done { // L=8 Lmin=1
 		t.Fatal("last reply did not complete the epoch")
 	}
 	agg := col.Aggregate()
@@ -41,7 +47,7 @@ func TestLBICollectLifecycle(t *testing.T) {
 		t.Fatalf("aggregate = %+v, want L=28 C=6 Lmin=1", agg)
 	}
 	// Replies after the close are absorbed; the expiry timer lost.
-	if col.ChildReply(lbi(100, 100)) {
+	if col.ChildReply(0, lbi(100, 100)) {
 		t.Error("reply after close reported completion")
 	}
 	if agg := col.Aggregate(); agg.L != 28 {
@@ -58,7 +64,7 @@ func TestLBICollectLeafAndExpiry(t *testing.T) {
 		t.Fatal("childless epoch should be complete at construction")
 	}
 	col := lbnode.NewLBICollect(nil, 3)
-	col.ChildReply(lbi(1, 1))
+	col.ChildReply(2, lbi(1, 1))
 	timedOut, expired := col.Expire()
 	if !expired || timedOut != 2 {
 		t.Fatalf("Expire = (%d, %v), want (2, true)", timedOut, expired)
@@ -66,7 +72,10 @@ func TestLBICollectLeafAndExpiry(t *testing.T) {
 	if !col.Done() {
 		t.Error("expired epoch should be closed")
 	}
-	if col.ChildReply(lbi(9, 9)) {
+	if agg := col.Aggregate(); agg.L != 1 {
+		t.Errorf("partial aggregate = %+v, want the one reply that arrived", agg)
+	}
+	if col.ChildReply(0, lbi(9, 9)) {
 		t.Error("reply after expiry reported completion")
 	}
 }

@@ -1,0 +1,98 @@
+package lbnode
+
+import (
+	"math/rand"
+
+	"p2plb/internal/chord"
+	"p2plb/internal/core"
+	"p2plb/internal/ktree"
+)
+
+// Placement is the canonical randomized placement of one balancing
+// round: which KT leaf receives each alive node's LBI report, and which
+// leaf receives its VSA advertisement should the node classify
+// non-neutral. Both executors draw it from the same RNG in the same
+// order — a single pre-pass over the ring before any messages flow — so
+// the per-leaf inboxes are identical sequences across executors by
+// construction. This is what makes intermediate rendezvous (threshold
+// pairing below the root) agree: which entries pool at which interior
+// node is purely a function of placement, so divergent draws used to
+// produce divergent transfer sets even on a lossless network.
+//
+// The VSA leaf is drawn for every alive node, not just the eventually
+// non-neutral ones: at placement time classification hasn't happened
+// yet (it needs the global tuple), and skipping neutral nodes would
+// make the draw sequence depend on execution order again.
+type Placement struct {
+	// Nodes lists the alive nodes in ring order.
+	Nodes []*chord.Node
+	// LBILeaf is aligned with Nodes: where each node's LBI report
+	// lands. nil means the chosen virtual server has no leaf yet (a
+	// fresh joiner between repairs) and the node sits the round out.
+	LBILeaf []*ktree.Node
+	// VSALeaf is where each alive node's advertisement lands if it
+	// turns out heavy or light. Nodes whose chosen VS has no leaf are
+	// absent.
+	VSALeaf map[*chord.Node]*ktree.Node
+	// LeafOf is the per-VS reporting-leaf cache the draws above went
+	// through: one leaf per virtual server per round. Executors that
+	// make additional lazy draws (routed proximity-aware publication)
+	// share it so a VS never reports through two different leaves.
+	LeafOf map[*chord.VServer]*ktree.Node
+}
+
+// PlaceRound draws the round's canonical placement from rng: for every
+// alive node, in ring order, a random virtual server and a random leaf
+// of that server — first the LBI pass, then the VSA pass. leafOf is the
+// per-VS leaf cache to fill (it may carry capacity from a recycled
+// round but must be empty).
+func PlaceRound(ring *chord.Ring, tree *ktree.Tree, rng *rand.Rand, leafOf map[*chord.VServer]*ktree.Node) *Placement {
+	if leafOf == nil {
+		leafOf = make(map[*chord.VServer]*ktree.Node)
+	}
+	p := &Placement{LeafOf: leafOf}
+	for _, n := range ring.Nodes() {
+		if n.Alive {
+			p.Nodes = append(p.Nodes, n)
+		}
+	}
+	p.LBILeaf = make([]*ktree.Node, len(p.Nodes))
+	p.VSALeaf = make(map[*chord.Node]*ktree.Node, len(p.Nodes))
+	draw := func(n *chord.Node) *ktree.Node {
+		vs := n.RandomVS(rng)
+		if vs == nil {
+			all := ring.VServers()
+			vs = all[rng.Intn(len(all))]
+		}
+		leaf, ok := leafOf[vs]
+		if !ok {
+			if leaves := tree.LeavesOf(vs); len(leaves) > 0 {
+				leaf = leaves[rng.Intn(len(leaves))]
+			}
+			leafOf[vs] = leaf
+		}
+		return leaf
+	}
+	for i, n := range p.Nodes {
+		p.LBILeaf[i] = draw(n)
+	}
+	for _, n := range p.Nodes {
+		if leaf := draw(n); leaf != nil {
+			p.VSALeaf[n] = leaf
+		}
+	}
+	return p
+}
+
+// DepositReports fills inbox with each placed node's LBI report —
+// LBILeaf[i] receives core.NodeLBI(Nodes[i]) in ring order, the exact
+// sequence both executors must aggregate.
+func (p *Placement) DepositReports(inbox map[*ktree.Node][]core.LBI) {
+	for i, n := range p.Nodes {
+		leaf := p.LBILeaf[i]
+		if leaf == nil {
+			continue // fresh joiner: no leaf until the next repair
+		}
+		inbox[leaf] = append(inbox[leaf], core.NodeLBI(n))
+	}
+}

@@ -21,7 +21,6 @@ package livenet
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 	"sync"
 
@@ -82,12 +81,14 @@ func reduce[T any](root *ktree.Node, eval func(n *ktree.Node, children []T) T) T
 
 // AggregateLBI performs the bottom-up LBI converge-cast concurrently,
 // one lbnode.LBICollect epoch per KT node: local reports seed the
-// epoch, children's subtree aggregates merge through the machine.
+// epoch, children's subtree aggregates fold through the machine in
+// child-index order (the machine buffers them, so the sim executor's
+// arrival-order replies fold identically).
 func AggregateLBI(tree *ktree.Tree, inbox map[*ktree.Node][]core.LBI) core.LBI {
 	return reduce(tree.Root(), func(n *ktree.Node, children []core.LBI) core.LBI {
 		col := lbnode.NewLBICollect(inbox[n], len(children))
-		for _, sub := range children {
-			col.ChildReply(sub)
+		for i, sub := range children {
+			col.ChildReply(i, sub)
 		}
 		return col.Aggregate()
 	})
@@ -145,10 +146,13 @@ type Result struct {
 
 // RunRound executes a complete load-balancing round with concurrent
 // sweeps: parallel LBI reduction, parallel classification, concurrent
-// VSA sweep, then transfers applied to the ring. The seed drives the
-// (sequential) randomized reporting choices, so a round is reproducible
-// even though execution interleaving is not.
-func RunRound(ring *chord.Ring, tree *ktree.Tree, cfg core.Config, seed int64) (*Result, error) {
+// VSA sweep, then transfers applied to the ring. The randomized
+// reporting choices are drawn sequentially from the ring engine's RNG
+// through the canonical placement pre-pass (lbnode.PlaceRound) — the
+// identical sequence the deterministic-sim executor draws — so a round
+// is reproducible even though execution interleaving is not, and the
+// two executors' transfer sets match exactly.
+func RunRound(ring *chord.Ring, tree *ktree.Tree, cfg core.Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -163,26 +167,12 @@ func RunRound(ring *chord.Ring, tree *ktree.Tree, cfg core.Config, seed int64) (
 			return nil, err
 		}
 	}
-	rng := rand.New(rand.NewSource(seed))
 
-	// LBI reporting (sequential: consumes the round RNG) and the
-	// concurrent aggregation.
+	// Canonical placement (sequential: consumes the engine RNG), then
+	// the concurrent aggregation.
+	place := lbnode.PlaceRound(ring, tree, ring.Engine().Rand(), nil)
 	lbiInbox := make(map[*ktree.Node][]core.LBI)
-	var alive []*chord.Node
-	for _, n := range ring.Nodes() {
-		if !n.Alive {
-			continue
-		}
-		alive = append(alive, n)
-		vs := n.RandomVS(rng)
-		if vs == nil {
-			all := ring.VServers()
-			vs = all[rng.Intn(len(all))]
-		}
-		leaves := tree.LeavesOf(vs)
-		leaf := leaves[rng.Intn(len(leaves))]
-		lbiInbox[leaf] = append(lbiInbox[leaf], core.NodeLBI(n))
-	}
+	place.DepositReports(lbiInbox)
 	global := AggregateLBI(tree, lbiInbox)
 	if !global.Valid() {
 		return nil, fmt.Errorf("livenet: no node reported LBI")
@@ -190,29 +180,21 @@ func RunRound(ring *chord.Ring, tree *ktree.Tree, cfg core.Config, seed int64) (
 	res := &Result{Global: global}
 
 	// Classification in parallel across nodes.
-	states := make([]*core.NodeState, len(alive))
-	par.For(len(alive), 0, func(i int) {
-		states[i] = lbnode.Classify(alive[i], global, cfg.Epsilon, cfg.Subset)
+	states := make([]*core.NodeState, len(place.Nodes))
+	par.For(len(place.Nodes), 0, func(i int) {
+		states[i] = lbnode.Classify(place.Nodes[i], global, cfg.Epsilon, cfg.Subset)
 	})
 	res.HeavyBefore, res.LightBefore, res.NeutralBefore = lbnode.Tally(states)
 
-	// VSA inboxes (sequential RNG), concurrent sweep.
+	// VSA inboxes from the placement, concurrent sweep.
 	vsaInbox := make(map[*ktree.Node]*core.PairList)
-	leafOf := make(map[*chord.VServer]*ktree.Node)
 	for _, st := range states {
 		if st.Class == core.Neutral {
 			continue
 		}
-		vs := st.Node.RandomVS(rng)
-		if vs == nil {
-			all := ring.VServers()
-			vs = all[rng.Intn(len(all))]
-		}
-		leaf, ok := leafOf[vs]
+		leaf, ok := place.VSALeaf[st.Node]
 		if !ok {
-			leaves := tree.LeavesOf(vs)
-			leaf = leaves[rng.Intn(len(leaves))]
-			leafOf[vs] = leaf
+			continue // fresh joiner: no leaf until the next repair
 		}
 		pl := vsaInbox[leaf]
 		if pl == nil {

@@ -97,7 +97,7 @@ func TestSweepVSAPairsEverything(t *testing.T) {
 
 func TestRunRoundBalances(t *testing.T) {
 	ring, tree := fixture(4, 256, 5)
-	res, err := RunRound(ring, tree, core.Config{Epsilon: 0.05}, 99)
+	res, err := RunRound(ring, tree, core.Config{Epsilon: 0.05})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +118,7 @@ func TestRunRoundMatchesBalancerAggregates(t *testing.T) {
 	// Concurrent round vs the sequential Balancer on identical rings:
 	// the global tuple and classification census must agree exactly.
 	ringA, treeA := fixture(5, 160, 5)
-	resA, err := RunRound(ringA, treeA, core.Config{Epsilon: 0.05}, 7)
+	resA, err := RunRound(ringA, treeA, core.Config{Epsilon: 0.05})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +151,7 @@ func TestRunRoundReproducible(t *testing.T) {
 	// goroutine interleaving.
 	run := func() (float64, int) {
 		ring, tree := fixture(6, 96, 4)
-		res, err := RunRound(ring, tree, core.Config{Epsilon: 0.05}, 3)
+		res, err := RunRound(ring, tree, core.Config{Epsilon: 0.05})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -166,15 +166,15 @@ func TestRunRoundReproducible(t *testing.T) {
 
 func TestRunRoundValidation(t *testing.T) {
 	ring, tree := fixture(7, 16, 3)
-	if _, err := RunRound(ring, tree, core.Config{Epsilon: -1}, 1); err == nil {
+	if _, err := RunRound(ring, tree, core.Config{Epsilon: -1}); err == nil {
 		t.Error("invalid config should fail")
 	}
-	if _, err := RunRound(ring, tree, core.Config{Mode: core.ProximityAware}, 1); err == nil {
+	if _, err := RunRound(ring, tree, core.Config{Mode: core.ProximityAware}); err == nil {
 		t.Error("aware mode should be rejected (needs a mapper anyway)")
 	}
 	empty := chord.NewRing(sim.NewEngine(1), chord.Config{})
 	emptyTree, _ := ktree.New(empty, 2)
-	if _, err := RunRound(empty, emptyTree, core.Config{}, 1); err == nil {
+	if _, err := RunRound(empty, emptyTree, core.Config{}); err == nil {
 		t.Error("empty ring should fail")
 	}
 }
@@ -198,7 +198,7 @@ func TestUnitLoadGini(t *testing.T) {
 func BenchmarkConcurrentRound(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		ring, tree := fixture(int64(i), 512, 5)
-		if _, err := RunRound(ring, tree, core.Config{Epsilon: 0.05}, int64(i)); err != nil {
+		if _, err := RunRound(ring, tree, core.Config{Epsilon: 0.05}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -216,7 +216,7 @@ func TestParallelSweepIsolation(t *testing.T) {
 	sweep := func() []float64 {
 		return par.Map(seeds, 0, func(seed int64) float64 {
 			ring, tree := fixture(seed, 96, 4)
-			res, err := RunRound(ring, tree, core.Config{Epsilon: 0.05}, seed)
+			res, err := RunRound(ring, tree, core.Config{Epsilon: 0.05})
 			if err != nil {
 				t.Error(err)
 				return -1

@@ -62,7 +62,7 @@ func TestLazyRingCacheUnderLiveRounds(t *testing.T) {
 		if err := tree.Build(); err != nil {
 			t.Fatalf("round %d: %v", round, err)
 		}
-		res, err := RunRound(ring, tree, cfg, int64(100+round))
+		res, err := RunRound(ring, tree, cfg)
 		if err != nil {
 			t.Fatalf("round %d: %v", round, err)
 		}

@@ -1,0 +1,255 @@
+// Conservative parallel execution of the root's child subtrees.
+//
+// On a lossless network the LBI and VSA converge-casts have a strict
+// locality property: until a subtree's aggregate reaches the root,
+// every message either stays inside one root-child subtree or travels
+// on the root↔child edge. The subtrees share no protocol state — the
+// per-leaf inboxes, the per-node collect machines and the sequence
+// space partition cleanly — so each subtree's phase can be simulated
+// to completion on its own engine (the conservative lookahead: the
+// whole phase, justified because no event outside the subtree can
+// target it mid-phase).
+//
+// Each worker gets a goroutine and a fresh sim.Engine whose seed is
+// derived from the root engine's seed and the child index WITHOUT
+// consuming the root RNG — a draw would shift every later draw (lazy
+// advertisement placement, subset strategies) and break equivalence
+// with the sequential executor. The collect walks themselves consume
+// no randomness; the derived seed exists so that any future stray
+// draw diverges loudly per worker instead of silently corrupting the
+// shared stream.
+//
+// The root drives the phase exactly like the sequential walk: it
+// sends the real MsgCollectDown/MsgVSADown exchanges on its own
+// engine, and the down-arrival event joins the worker (blocking the
+// root goroutine in real time, never in virtual time). The join then
+// replays the subtree's externally visible effects at their reported
+// virtual offsets:
+//
+//   - the child's reply exchange (MsgReportUp/MsgVSAUp) is issued at
+//     the child's virtual completion time;
+//   - rendezvous pairings emitted inside the subtree are re-run on
+//     the root engine at their emission times (handoffs mutate the
+//     shared ring, so they must execute under the root's clock);
+//   - per-kind message tallies and failure counters merge in child
+//     order (pure sums, so the merge order is immaterial to the
+//     totals).
+//
+// Equivalence with the sequential run: the global tuple, the message
+// totals and the transfer set are identical. The only representational
+// difference is the order of same-instant events (sequence numbers are
+// allocated per engine), which the index-buffered root machines fold
+// away — TestParallelSubtreesEquivalence pins all of this.
+package protocol
+
+import (
+	"p2plb/internal/core"
+	"p2plb/internal/ktree"
+	"p2plb/internal/lbnode"
+	"p2plb/internal/sim"
+)
+
+// timedPair is a rendezvous pairing recorded inside a worker, stamped
+// with the worker-virtual time it was emitted at.
+type timedPair struct {
+	at sim.Time
+	n  *ktree.Node
+	p  core.Pair
+}
+
+// subWorker is one root-child subtree phase running on its own engine.
+// The goroutine writes the result fields and closes done; the root
+// reads them only after <-done (the channel is the happens-before
+// edge).
+type subWorker struct {
+	done  chan struct{}
+	eng   *sim.Engine
+	res   *Result
+	ok    bool           // the child completed its epoch (false: dead subtree, never replies)
+	dur   sim.Time       // worker-virtual time of the child's completion
+	agg   core.LBI       // LBI phase result
+	left  *core.PairList // VSA phase result: the unpaired remainder
+	pairs []timedPair    // VSA phase: deferred rendezvous pairings
+}
+
+// deriveSeed mixes a per-child worker seed out of the root engine's
+// seed (splitmix64 finalizer) without touching the root RNG.
+func deriveSeed(base int64, child int) int64 {
+	z := uint64(base) + uint64(child+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// subRound builds the worker-local round shim: same ring, tree, config
+// and shared (read-only during the phase) inboxes, but its own engine,
+// sequence space, dedup set and result counters.
+func (rd *round) subRound(eng *sim.Engine, res *Result) *round {
+	return &round{
+		r:          &Runner{ring: rd.r.ring, tree: rd.r.tree, cfg: rd.r.cfg, eng: eng},
+		timeout:    rd.timeout,
+		lbiInbox:   rd.lbiInbox,
+		vsaInbox:   rd.vsaInbox,
+		global:     rd.global,
+		maxRetries: rd.maxRetries,
+		res:        res,
+	}
+}
+
+// mergeWorker folds a finished worker's message tallies and failure
+// counters into the root round.
+func (rd *round) mergeWorker(w *subWorker) {
+	eng := rd.r.eng
+	for _, kind := range w.eng.MessageKinds() {
+		eng.CountMessageN(kind, w.eng.MessageCount(kind), sim.Time(w.eng.MessageCost(kind)))
+	}
+	rd.res.Retries += w.res.Retries
+	rd.res.TimedOutChildren += w.res.TimedOutChildren
+	rd.res.NodesClassified += w.res.NodesClassified
+}
+
+// startLBIPar is startLBI for the root with one worker per child
+// subtree. The root's own machine, epoch timer and down/up exchanges
+// are identical to the sequential walk; only what happens between the
+// down-arrival and the up-reply moves onto worker engines.
+func (rd *round) startLBIPar(n *ktree.Node) {
+	owner := n.Host.Owner
+	if !owner.Alive {
+		return
+	}
+	col := lbnode.MakeLBICollect(rd.lbiInbox[n], len(n.Children))
+	if col.Done() {
+		rd.lbiComplete(nil, col.Aggregate())
+		return
+	}
+	nd := slabAlloc(&rd.lbiNodes)
+	nd.rd, nd.n, nd.ni, nd.col, nd.parent = rd, n, owner.Index, col, nil
+	nd.expireEv.nd = nd
+	base := rd.r.eng.Seed()
+	for ci, c := range n.Children {
+		e := slabAlloc(&rd.lbiEdges)
+		e.nd, e.c, e.ci, e.chi = nd, c, ci, hostIdx(c)
+		e.edge = rd.r.tree.EdgeLatency(c)
+		e.up.e = e
+		w := rd.spawnLBIWorker(c, deriveSeed(base, ci))
+		rd.reliableEv(MsgCollectDown, nd.ni, e.chi, e.edge, &lbiJoin{e: e, w: w})
+	}
+	nd.expire = rd.r.eng.AfterEv(rd.epochWindow(n), &nd.expireEv)
+}
+
+// spawnLBIWorker simulates c's whole LBI epoch on a derived-seed
+// engine.
+func (rd *round) spawnLBIWorker(c *ktree.Node, seed int64) *subWorker {
+	w := &subWorker{done: make(chan struct{}), eng: sim.NewEngine(seed), res: &Result{}}
+	go func() {
+		defer close(w.done)
+		sub := rd.subRound(w.eng, w.res)
+		sub.onLBIRoot = func(agg core.LBI) {
+			w.ok, w.agg, w.dur = true, agg, w.eng.Now()
+		}
+		sub.startLBI(c, nil)
+		w.eng.Run()
+	}()
+	return w
+}
+
+// lbiJoin handles the down-arrival at a parallel child: wait for the
+// worker, then replay the reply at the child's completion offset. A
+// dead subtree still acks the pull (as in the sequential walk, where
+// aliveness gates the walk, not the transport) and simply never
+// replies, leaving the root's epoch timer to expire.
+type lbiJoin struct {
+	e *lbiEdge
+	w *subWorker
+}
+
+func (j *lbiJoin) HandleMsg() bool {
+	w := j.w
+	<-w.done
+	rd := j.e.nd.rd
+	rd.mergeWorker(w)
+	if !w.ok {
+		return true
+	}
+	e, agg := j.e, w.agg
+	rd.r.eng.Schedule(w.dur, func() { rd.lbiComplete(e, agg) })
+	return true
+}
+
+func (j *lbiJoin) SettleMsg(bool) {}
+
+// startVSAPar mirrors startLBIPar for the VSA converge-cast. The root
+// runs its own rendezvous step (isRoot pairing) on the root engine via
+// the ordinary finishVSA path; subtree rendezvous pairings were
+// deferred by the workers and replay on the root engine.
+func (rd *round) startVSAPar(n *ktree.Node, cb func(*core.PairList)) {
+	owner := n.Host.Owner
+	if !owner.Alive {
+		return
+	}
+	col := lbnode.MakeVSACollect(rd.vsaInbox[n], len(n.Children))
+	if col.Done() {
+		rd.finishVSA(n, true, &col, nil, cb)
+		return
+	}
+	nd := slabAlloc(&rd.vsaNodes)
+	nd.rd, nd.n, nd.ni, nd.isRoot, nd.col = rd, n, owner.Index, true, col
+	nd.rootCb = cb
+	nd.expireEv.nd = nd
+	base := rd.r.eng.Seed()
+	for ci, c := range n.Children {
+		e := slabAlloc(&rd.vsaEdges)
+		e.nd, e.c, e.chi = nd, c, hostIdx(c)
+		e.edge = rd.r.tree.EdgeLatency(c)
+		e.up.e = e
+		w := rd.spawnVSAWorker(c, deriveSeed(base, ci))
+		rd.reliableEv(MsgVSADown, nd.ni, e.chi, e.edge, &vsaJoin{e: e, w: w})
+	}
+	nd.expire = rd.r.eng.AfterEv(rd.epochWindow(n), &nd.expireEv)
+}
+
+// spawnVSAWorker simulates c's whole VSA epoch on a derived-seed
+// engine, recording rendezvous pairings instead of executing them.
+func (rd *round) spawnVSAWorker(c *ktree.Node, seed int64) *subWorker {
+	w := &subWorker{done: make(chan struct{}), eng: sim.NewEngine(seed), res: &Result{}}
+	go func() {
+		defer close(w.done)
+		sub := rd.subRound(w.eng, w.res)
+		sub.deferPairs = &w.pairs
+		sub.startVSANode(c, false, nil, func(left *core.PairList) {
+			w.ok, w.left, w.dur = true, left, w.eng.Now()
+		})
+		w.eng.Run()
+	}()
+	return w
+}
+
+// vsaJoin: as lbiJoin, plus the deferred-pairing replay. Pairings are
+// scheduled before the reply so that a pairing and the reply landing
+// on the same instant keep their worker-side emission order.
+type vsaJoin struct {
+	e *vsaEdge
+	w *subWorker
+}
+
+func (j *vsaJoin) HandleMsg() bool {
+	w := j.w
+	<-w.done
+	rd := j.e.nd.rd
+	rd.mergeWorker(w)
+	if !w.ok {
+		return true
+	}
+	for _, tp := range w.pairs {
+		tp := tp
+		rd.r.eng.Schedule(tp.at, func() { rd.emitPair(tp.n, tp.p) })
+	}
+	e, left := j.e, w.left
+	rd.r.eng.Schedule(w.dur, func() {
+		e.sub = left
+		rd.reliableEv(MsgVSAUp, e.chi, e.nd.ni, e.edge, &e.up)
+	})
+	return true
+}
+
+func (j *vsaJoin) SettleMsg(bool) {}

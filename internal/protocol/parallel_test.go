@@ -1,0 +1,123 @@
+package protocol
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"p2plb/internal/core"
+	"p2plb/internal/faults"
+)
+
+// assignmentKeys renders a result's transfer set order-insensitively:
+// same-instant commits may fold in a different order under parallel
+// subtree execution (sequence numbers are per-engine), so the set —
+// not the slice order — is the invariant.
+func assignmentKeys(res *Result) []string {
+	keys := make([]string, len(res.Assignments))
+	for i, a := range res.Assignments {
+		keys[i] = fmt.Sprintf("%v:%d->%d:%.17g:%d:%d", a.VS.ID, a.From.Index, a.To.Index, a.Load, a.Hops, a.AssignedAt)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestParallelSubtreesEquivalence pins the parallel stepper's
+// contract: a round with ParallelSubtrees produces the same global
+// tuple, the same census, the same per-kind message tallies and the
+// same transfer set as the sequential round on an identical fixture.
+func TestParallelSubtreesEquivalence(t *testing.T) {
+	// Threshold 0 (the default, 30) exercises rendezvous pairing deep
+	// inside the worker subtrees — the deferred-replay path; -1 defers
+	// all pairing to the root. "mode" below is the threshold.
+	for _, mode := range []int{0, -1} {
+		cfgCore := core.Config{Epsilon: 0.05, RendezvousThreshold: mode}
+
+		ringS, treeS := fixture(7, 512, 5)
+		seq := runOneRound(t, ringS, treeS, Config{Core: cfgCore})
+
+		ringP, treeP := fixture(7, 512, 5)
+		par := runOneRound(t, ringP, treeP, Config{Core: cfgCore, ParallelSubtrees: true})
+
+		if seq.Global != par.Global {
+			t.Fatalf("threshold %d: global diverged: sequential %+v parallel %+v", mode, seq.Global, par.Global)
+		}
+		if seq.HeavyBefore != par.HeavyBefore || seq.LightBefore != par.LightBefore ||
+			seq.HeavyAfter != par.HeavyAfter || seq.NodesClassified != par.NodesClassified {
+			t.Fatalf("mode %v: census diverged: sequential %+v parallel %+v", mode, seq, par)
+		}
+		if seq.MovedLoad != par.MovedLoad || seq.UnassignedOffers != par.UnassignedOffers {
+			t.Fatalf("mode %v: moved=%v/%v unassigned=%d/%d", mode,
+				seq.MovedLoad, par.MovedLoad, seq.UnassignedOffers, par.UnassignedOffers)
+		}
+		sk, pk := assignmentKeys(seq), assignmentKeys(par)
+		if len(sk) != len(pk) {
+			t.Fatalf("mode %v: %d vs %d transfers", mode, len(sk), len(pk))
+		}
+		for i := range sk {
+			if sk[i] != pk[i] {
+				t.Fatalf("mode %v: transfer sets diverge at %d:\n  sequential %s\n  parallel   %s", mode, i, sk[i], pk[i])
+			}
+		}
+		for _, kind := range ringS.Engine().MessageKinds() {
+			if c, p := ringS.Engine().MessageCount(kind), ringP.Engine().MessageCount(kind); c != p {
+				t.Errorf("mode %v: %s count %d (sequential) vs %d (parallel)", mode, kind, c, p)
+			}
+			if c, p := ringS.Engine().MessageCost(kind), ringP.Engine().MessageCost(kind); c != p {
+				t.Errorf("mode %v: %s cost %d (sequential) vs %d (parallel)", mode, kind, c, p)
+			}
+		}
+		if seq.TimedOutChildren != 0 || par.TimedOutChildren != 0 || seq.Retries != 0 || par.Retries != 0 {
+			t.Fatalf("mode %v: lossless round saw timeouts/retries", mode)
+		}
+		ringP.CheckInvariants()
+		treeP.CheckInvariants()
+	}
+}
+
+// TestParallelSubtreesDeterministic: two parallel runs on identical
+// fixtures are identical in every observable, including assignment
+// ORDER — goroutine scheduling must not leak into outcomes.
+func TestParallelSubtreesDeterministic(t *testing.T) {
+	run := func() *Result {
+		ring, tree := fixture(11, 384, 5)
+		return runOneRound(t, ring, tree, Config{Core: core.Config{Epsilon: 0.05}, ParallelSubtrees: true})
+	}
+	a, b := run(), run()
+	if a.Global != b.Global || a.MovedLoad != b.MovedLoad || len(a.Assignments) != len(b.Assignments) {
+		t.Fatalf("parallel runs diverged: %+v vs %+v", a.Global, b.Global)
+	}
+	for i := range a.Assignments {
+		x, y := a.Assignments[i], b.Assignments[i]
+		if x.VS.ID != y.VS.ID || x.From.Index != y.From.Index || x.To.Index != y.To.Index || x.AssignedAt != y.AssignedAt {
+			t.Fatalf("assignment %d diverged across identical parallel runs", i)
+		}
+	}
+}
+
+// TestParallelSubtreesRejectsFaultFilter: the conservative lookahead
+// assumes subtree isolation, which a fault filter's shared state
+// breaks — the combination must be refused up front.
+func TestParallelSubtreesRejectsFaultFilter(t *testing.T) {
+	ring, tree := fixture(13, 64, 5)
+	eng := ring.Engine()
+	in, err := faults.New(1, faults.Plan{Drop: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Attach(ring); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(ring, tree, Config{Core: core.Config{Epsilon: 0.05}, ParallelSubtrees: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.StartRound(func(*Result, error) {}); err == nil {
+		t.Fatal("StartRound accepted ParallelSubtrees with a fault filter installed")
+	}
+	in.Detach()
+	if err := r.StartRound(func(*Result, error) {}); err != nil {
+		t.Fatalf("filter removed, round still refused: %v", err)
+	}
+	eng.Run()
+}

@@ -95,6 +95,19 @@ type Config struct {
 	// 5; lossless runs never retransmit, so the knob only matters under
 	// a fault plan.
 	MaxRetries int
+	// ParallelSubtrees runs the LBI and VSA converge-casts of the
+	// root's child subtrees on parallel worker engines (one goroutine
+	// and one derived-seed sim.Engine per root child), exploiting that
+	// on a lossless network the subtrees exchange no messages until
+	// the root merge. The lookahead is conservative: each worker
+	// simulates its whole subtree phase in isolation and the root
+	// replays the subtree's externally visible effects (the reply, the
+	// rendezvous pairings, the message tallies) at their reported
+	// virtual times, so results are equivalent to a sequential run —
+	// see parallel.go for the exact contract. Incompatible with a
+	// fault filter (a filter's state couples the subtrees);
+	// StartRound rejects the combination.
+	ParallelSubtrees bool
 }
 
 // defaultChildTimeout is the per-level slack used when Config leaves
@@ -201,6 +214,7 @@ type round struct {
 
 	lbiInbox map[*ktree.Node][]core.LBI
 	global   core.LBI
+	place    *lbnode.Placement // canonical randomized placement, drawn before any event
 
 	roster     *lbnode.Roster // dissemination endpoint state (over scratch's states map)
 	vsaInbox   map[*ktree.Node]*core.PairList
@@ -209,19 +223,72 @@ type round struct {
 
 	// Reliable-delivery state. seen is the receiver-side dedup set: a
 	// sequence number enters it when its message is first accepted, so
-	// duplicated or retransmitted copies are idempotent. It is freshly
-	// allocated every round (never recycled through roundScratch) because
-	// a late retransmit may arrive after the round closed.
+	// duplicated or retransmitted copies are idempotent. Sequence numbers
+	// are allocated densely from zero per round, so the set is a growable
+	// bitset rather than a map — at large scale it is touched once per
+	// delivered copy. It starts fresh every round (never recycled through
+	// roundScratch); late retransmits from a previous round are fenced by
+	// their own round's finished flag, not by this set.
 	nextSeq    uint64
-	seen       map[uint64]bool
+	seen       seqSet
 	maxRetries int
+	exFree     []*exchange // settled exchanges recycled by reliable()
+
+	deadline sim.Timer // round-failure backstop, canceled on completion
 
 	outstandingTransfers int
 	vsaDone              bool
 	finished             bool
 
+	// Chunked slabs for the tree-walk objects (lbiNode, lbiEdge, …):
+	// the walks allocate one object per live tree node/edge per phase,
+	// and a slab turns those into one heap allocation per slabChunk
+	// objects. The backing arrays die with the round.
+	lbiNodes  []lbiNode
+	lbiEdges  []lbiEdge
+	vsaNodes  []vsaNode
+	vsaEdges  []vsaEdge
+	dispEdges []dispEdge
+
+	onLBIRoot func(core.LBI)
+
+	// Non-nil only on a parallel subtree worker: emitPair records
+	// instead of executing (see parallel.go).
+	deferPairs *[]timedPair
+
 	res    *Result
 	finish func(*Result, error)
+}
+
+// slabChunk is how many walk objects one slab allocation holds.
+const slabChunk = 256
+
+// slabAlloc hands out the next zeroed object from a chunked slab,
+// refilling it with a fresh backing array when empty.
+func slabAlloc[T any](s *[]T) *T {
+	if len(*s) == 0 {
+		*s = make([]T, slabChunk)
+	}
+	p := &(*s)[0]
+	*s = (*s)[1:]
+	return p
+}
+
+// seqSet is a growable bitset over densely allocated sequence numbers.
+type seqSet struct{ bits []uint64 }
+
+//lbvet:hotpath
+func (s *seqSet) has(seq uint64) bool {
+	w := seq >> 6
+	return w < uint64(len(s.bits)) && s.bits[w]&(1<<(seq&63)) != 0
+}
+
+func (s *seqSet) add(seq uint64) {
+	w := seq >> 6
+	for uint64(len(s.bits)) <= w {
+		s.bits = append(s.bits, 0)
+	}
+	s.bits[w] |= 1 << (seq & 63)
 }
 
 // done completes the round exactly once.
@@ -230,6 +297,7 @@ func (rd *round) done(res *Result, err error) {
 		return
 	}
 	rd.finished = true
+	rd.r.eng.Cancel(rd.deadline)
 	rd.finish(res, err)
 }
 
@@ -247,6 +315,9 @@ func (r *Runner) StartRound(done func(*Result, error)) error {
 		if err := r.tree.Build(); err != nil {
 			return err
 		}
+	}
+	if r.cfg.ParallelSubtrees && r.eng.Filter() != nil {
+		return fmt.Errorf("protocol: ParallelSubtrees is incompatible with a fault filter (filter state couples the subtrees)")
 	}
 	r.roundActive = true
 	timeout := r.cfg.ChildTimeout
@@ -266,7 +337,6 @@ func (r *Runner) StartRound(done func(*Result, error)) error {
 		roster:     lbnode.NewRoster(sc.states),
 		vsaInbox:   sc.vsaInbox,
 		leafOfVS:   sc.leafOfVS,
-		seen:       make(map[uint64]bool),
 		maxRetries: retries,
 		res: &Result{Result: core.Result{
 			Mode:        r.cfg.Core.Mode,
@@ -287,10 +357,15 @@ func (r *Runner) StartRound(done func(*Result, error)) error {
 	}
 	// Hard deadline: if the root itself dies mid-round the epoch can
 	// never complete; fail the round so the caller can repair and retry.
-	r.eng.Schedule(8*rd.epochWindow(r.tree.Root()), func() {
+	// A completing round cancels it so the engine drains immediately.
+	rd.deadline = r.eng.After(8*rd.epochWindow(r.tree.Root()), func() {
 		rd.done(nil, fmt.Errorf("protocol: round deadline exceeded (root unreachable?)"))
 	})
-	rd.depositLBIReports()
+	// Draw the round's canonical placement before the first event: the
+	// concurrent executor consumes the identical RNG sequence, so both
+	// executors deposit identical per-leaf inboxes (see lbnode.PlaceRound).
+	rd.place = lbnode.PlaceRound(r.ring, r.tree, r.eng.Rand(), sc.leafOfVS)
+	rd.place.DepositReports(rd.lbiInbox)
 	rd.collectLBI(r.tree.Root(), func(global core.LBI) {
 		if !global.Valid() {
 			rd.done(nil, fmt.Errorf("protocol: no node reported LBI"))
@@ -357,68 +432,228 @@ func (rd *round) epochWindow(n *ktree.Node) sim.Time {
 // endpoint identity the fault layer partitions on.
 func hostIdx(n *ktree.Node) int { return n.Host.Owner.Index }
 
-// reliable delivers kind with at-least-once retransmission and
-// receiver-side dedup — together, exactly-once handler execution:
+// rhandler is the callback pair of one reliable exchange, implemented
+// on pooled per-edge walk objects so a reliable send costs no closure
+// allocations. reliableEv delivers with at-least-once retransmission
+// and receiver-side dedup — together, exactly-once handler execution:
 //
-//   - each copy that arrives offers the message to handle; the first
-//     accepted copy marks the sequence number seen, so duplicates and
-//     retransmits only re-ack. handle returning false models a dead or
-//     no-longer-valid receiver: no dedup mark, no ack — silence.
+//   - each copy that arrives offers the message to HandleMsg; the
+//     first accepted copy marks the sequence number seen, so
+//     duplicates and retransmits only re-ack. HandleMsg returning
+//     false models a dead or no-longer-valid receiver: no dedup mark,
+//     no ack — silence.
 //   - every accepted arrival acks back to the sender; the first ack
 //     settles the exchange.
 //   - the sender retransmits when no ack arrives within the timer —
 //     one round trip plus slack, doubling per attempt — up to the
 //     round's retry bound, then settles failed.
 //
-// settle(ok) runs exactly once per call (ok: an ack arrived; !ok:
+// SettleMsg(ok) runs exactly once per send (ok: an ack arrived; !ok:
 // retries exhausted). A settled failure does NOT imply the handler
 // never ran — the data may have arrived with every ack lost — so
 // side effects that must not double (the VST commit) live in the
 // handler behind the dedup, and failure paths only release resources.
-func (rd *round) reliable(kind string, src, dst int, cost sim.Time, handle func() bool, settle func(ok bool)) {
-	eng := rd.r.eng
-	seq := rd.nextSeq
+type rhandler interface {
+	HandleMsg() bool
+	SettleMsg(ok bool)
+}
+
+// reliableEv is reliable with an object callback pair.
+//
+//lbvet:hotpath
+func (rd *round) reliableEv(kind string, src, dst int, cost sim.Time, h rhandler) {
+	ex := rd.newExchange(kind, src, dst, cost)
+	ex.h = h
+	ex.send()
+}
+
+//lbvet:hotpath
+func (rd *round) newExchange(kind string, src, dst int, cost sim.Time) *exchange {
+	var ex *exchange
+	if n := len(rd.exFree); n > 0 {
+		ex = rd.exFree[n-1]
+		rd.exFree[n-1] = nil
+		rd.exFree = rd.exFree[:n-1]
+		ex.kind, ex.ackKind = kind, ackKindOf(kind)
+		ex.src, ex.dst, ex.cost = src, dst, cost
+		ex.seq = rd.nextSeq
+		ex.attemptsLeft = rd.maxRetries + 1
+		ex.backoff = 2*cost + 2
+		ex.settled = false
+		ex.rto = sim.Timer{}
+	} else {
+		//lbvet:ignore hotalloc pool miss: one exchange object per peak-concurrency slot, recycled for the rest of the round
+		ex = &exchange{
+			rd: rd, kind: kind, ackKind: ackKindOf(kind),
+			src: src, dst: dst, cost: cost,
+			seq:          rd.nextSeq,
+			attemptsLeft: rd.maxRetries + 1,
+			backoff:      2*cost + 2,
+		}
+		// Wire the three embedded event adapters once per exchange
+		// object: interior pointers into the exchange itself, reused
+		// across retransmissions, duplicate arrivals and (through the
+		// pool) later exchanges, so the steady-state cost is zero
+		// allocations instead of a fresh closure per attempt — at 256k
+		// VSs the per-attempt closures were the round's dominant
+		// garbage.
+		ex.arriveEv.ex = ex
+		ex.ackEv.ex = ex
+		ex.rtoEv.ex = ex
+	}
 	rd.nextSeq++
-	settled := false
-	resolve := func(ok bool) {
-		if settled {
+	return ex
+}
+
+// ackKindOf maps a reliable kind to its ack kind without concatenating
+// at send time (constant folding keeps the switch allocation-free).
+func ackKindOf(kind string) string {
+	switch kind {
+	case MsgCollectDown:
+		return MsgCollectDown + MsgAckSuffix
+	case MsgReportUp:
+		return MsgReportUp + MsgAckSuffix
+	case MsgDisperse:
+		return MsgDisperse + MsgAckSuffix
+	case MsgVSADown:
+		return MsgVSADown + MsgAckSuffix
+	case MsgVSAUp:
+		return MsgVSAUp + MsgAckSuffix
+	case MsgAssign:
+		return MsgAssign + MsgAckSuffix
+	case MsgPrepare:
+		return MsgPrepare + MsgAckSuffix
+	case MsgTransfer:
+		return MsgTransfer + MsgAckSuffix
+	}
+	return kind + MsgAckSuffix
+}
+
+// exchange is one reliable message's in-flight state: the sender side
+// (retransmission attempts, the cancelable rto timer, the settle
+// outcome) and the receiver side (dedup by sequence number, the ack).
+type exchange struct {
+	rd           *round
+	kind         string
+	ackKind      string
+	src, dst     int
+	cost         sim.Time
+	seq          uint64
+	attemptsLeft int
+	backoff      sim.Time
+	settled      bool
+	rto          sim.Timer
+	h            rhandler // receiver handler + sender settle outcome
+
+	arriveEv arriveEv
+	ackEv    ackEv
+	rtoEv    rtoEv
+}
+
+// arriveEv, ackEv and rtoEv adapt the exchange's three event entry
+// points to sim.Eventer. They are embedded by value so scheduling one
+// passes an interior pointer — no per-event closure, no per-exchange
+// method-value allocations.
+type arriveEv struct{ ex *exchange }
+
+//lbvet:hotpath
+func (a *arriveEv) RunEvent() { a.ex.arrive() }
+
+type ackEv struct{ ex *exchange }
+
+//lbvet:hotpath
+func (a *ackEv) RunEvent() { a.ex.resolve(true) }
+
+type rtoEv struct{ ex *exchange }
+
+//lbvet:hotpath
+func (r *rtoEv) RunEvent() { r.ex.onRTO() }
+
+// resolve settles the exchange exactly once. The pending retransmission
+// timer is revoked instead of firing into a dead check — on a lossless
+// network no rto timer ever fires, which at scale was a third of a
+// round's event volume.
+func (ex *exchange) resolve(ok bool) {
+	if ex.settled {
+		return
+	}
+	ex.settled = true
+	ex.rd.r.eng.Cancel(ex.rto)
+	ex.h.SettleMsg(ok)
+	// Without a fault filter the exchange is provably unreferenced once
+	// it settles — every copy transmits exactly once and is consumed on
+	// arrival before the rto window closes (backoff > cost), the queue
+	// consumed the event that invoked this very callback before running
+	// it, and Cancel released the rto slot — so it recycles into the
+	// round's pool. With a filter, duplicate or delayed copies may still
+	// hold the callbacks; those exchanges are left to the GC.
+	if ex.rd.r.eng.Filter() == nil {
+		ex.h = nil
+		ex.rd.exFree = append(ex.rd.exFree, ex)
+	}
+}
+
+// send transmits one copy and arms the retransmission timer. On a
+// lossless network (no fault filter) the timer is not armed here at
+// all: the single copy provably arrives, and the only outcome that
+// needs a retransmission — the handler refusing the message — arms it
+// from the refusal itself (see arrive). At scale the always-armed,
+// always-canceled rto was roughly a quarter of all queue traffic.
+func (ex *exchange) send() {
+	if ex.settled || ex.rd.finished {
+		return
+	}
+	eng := ex.rd.r.eng
+	eng.DeliverEv(ex.kind, ex.src, ex.dst, ex.cost, &ex.arriveEv)
+	if eng.Filter() != nil {
+		ex.rto = eng.AfterEv(ex.backoff, &ex.rtoEv)
+	}
+}
+
+// arrive runs at the receiver for every copy that lands: the first
+// accepted copy executes the handler and enters the dedup set; every
+// accepted arrival (re-)acks.
+func (ex *exchange) arrive() {
+	rd := ex.rd
+	if rd.finished {
+		return
+	}
+	if !rd.seen.has(ex.seq) {
+		if !ex.h.HandleMsg() {
+			// Refused: no dedup mark, no ack — the sender must time
+			// out. Lossless sends skipped the eager rto (see send), so
+			// arm it now for the instant the eager timer would have
+			// fired: this copy left at now-cost, so the window closes
+			// backoff-cost from now. The doubling ladder is unchanged —
+			// onRTO retransmits at exactly the eager schedule's times.
+			if ex.rto.Zero() && ex.rd.r.eng.Filter() == nil {
+				ex.rto = ex.rd.r.eng.AfterEv(ex.backoff-ex.cost, &ex.rtoEv)
+			}
 			return
 		}
-		settled = true
-		if settle != nil {
-			settle(ok)
-		}
+		rd.seen.add(ex.seq)
 	}
-	var send func(attemptsLeft int, rto sim.Time)
-	send = func(attemptsLeft int, rto sim.Time) {
-		if settled || rd.finished {
-			return
-		}
-		eng.Deliver(kind, src, dst, cost, func() {
-			if rd.finished {
-				return
-			}
-			if !rd.seen[seq] {
-				if handle != nil && !handle() {
-					return
-				}
-				rd.seen[seq] = true
-			}
-			eng.Deliver(kind+MsgAckSuffix, dst, src, cost, func() { resolve(true) })
-		})
-		eng.Schedule(rto, func() {
-			if settled || rd.finished {
-				return
-			}
-			if attemptsLeft <= 1 {
-				resolve(false)
-				return
-			}
-			rd.res.Retries++
-			send(attemptsLeft-1, 2*rto)
-		})
+	rd.r.eng.DeliverEv(ex.ackKind, ex.dst, ex.src, ex.cost, &ex.ackEv)
+}
+
+// onRTO fires when no ack arrived within the backoff window:
+// retransmit with a doubled window, or settle failed once the attempts
+// are spent.
+func (ex *exchange) onRTO() {
+	if ex.settled || ex.rd.finished {
+		return
 	}
-	send(rd.maxRetries+1, 2*cost+2)
+	if ex.attemptsLeft <= 1 {
+		ex.resolve(false)
+		return
+	}
+	ex.rd.res.Retries++
+	ex.attemptsLeft--
+	ex.backoff *= 2
+	// This handle was just consumed by firing; clear it so a lossless
+	// retransmission's refusal can arm a fresh one (see arrive).
+	ex.rto = sim.Timer{}
+	ex.send()
 }
 
 // leafFor returns the single leaf a virtual server reports through this
@@ -426,6 +661,9 @@ func (rd *round) reliable(kind string, src, dst int, cost sim.Time, handle func(
 // that joined since the last repair (a restarted node rejoining
 // mid-round) has no leaves until Repair plants them, so its reports
 // simply sit out the round — the soft-state behaviour, not an error.
+// The cache is shared with the placement pre-pass, so lazy draws (the
+// routed proximity-aware publication path, whose target VS is only
+// known once the lookup lands) never contradict a placed report.
 func (rd *round) leafFor(vs *chord.VServer) *ktree.Node {
 	if leaf, ok := rd.leafOfVS[vs]; ok {
 		return leaf
@@ -438,67 +676,147 @@ func (rd *round) leafFor(vs *chord.VServer) *ktree.Node {
 	return leaf
 }
 
-// depositLBIReports places each alive node's LBI report at the leaf of
-// its randomly chosen virtual server (both local interactions).
-func (rd *round) depositLBIReports() {
-	eng := rd.r.eng
-	for _, n := range rd.r.ring.Nodes() {
-		if !n.Alive {
-			continue
-		}
-		vs := n.RandomVS(eng.Rand())
-		if vs == nil {
-			all := rd.r.ring.VServers()
-			vs = all[eng.Rand().Intn(len(all))]
-		}
-		leaf := rd.leafFor(vs)
-		if leaf == nil {
-			continue // fresh joiner: no leaf until the next repair
-		}
-		rd.lbiInbox[leaf] = append(rd.lbiInbox[leaf], core.NodeLBI(n))
-	}
-}
-
 // collectLBI pulls <L, C, Lmin> from n's subtree, driving one
 // lbnode.LBICollect epoch per node: leaves answer from their inbox;
 // internal nodes query children, merge replies through the machine, and
-// give up on silent children after the timeout.
+// give up on silent children after the timeout. cb receives the root
+// aggregate; the walk itself runs on slab-pooled lbiNode/lbiEdge
+// objects, one per live tree node and edge, so an epoch costs no
+// per-message closures.
 func (rd *round) collectLBI(n *ktree.Node, cb func(core.LBI)) {
-	if !rd.alive(n) {
-		return // a dead KT node never replies
-	}
-	col := lbnode.NewLBICollect(rd.lbiInbox[n], len(n.Children))
-	if col.Done() {
-		cb(col.Aggregate())
+	rd.onLBIRoot = cb
+	if rd.r.cfg.ParallelSubtrees {
+		rd.startLBIPar(n)
 		return
 	}
-	for _, c := range n.Children {
-		c := c
-		edge := rd.r.tree.EdgeLatency(c)
+	rd.startLBI(n, nil)
+}
+
+// lbiNode drives one internal node's LBI epoch: the collect machine,
+// the epoch timer, and the link to the parent edge the aggregate
+// reports through (nil at the root).
+type lbiNode struct {
+	rd       *round
+	n        *ktree.Node
+	ni       int
+	col      lbnode.LBICollect
+	parent   *lbiEdge
+	expire   sim.Timer
+	expireEv lbiExpire
+}
+
+// lbiEdge is one parent→child link of the epoch: the target of the
+// downward pull, the buffer for the child subtree's aggregate, and the
+// two reliable-exchange handler roles (pull arriving at the child,
+// report arriving back at the parent) as embedded adapters.
+type lbiEdge struct {
+	nd   *lbiNode // parent's machine
+	c    *ktree.Node
+	ci   int
+	chi  int
+	edge sim.Time
+	sub  core.LBI
+	down lbiDown
+	up   lbiUp
+}
+
+// startLBI begins n's epoch; parent is the edge the subtree aggregate
+// reports through, nil at the root. A leaf (or a childless machine)
+// completes synchronously on the caller's stack — no walk objects.
+//
+//lbvet:hotpath
+func (rd *round) startLBI(n *ktree.Node, parent *lbiEdge) {
+	// One chase through Host.Owner serves the aliveness check and the
+	// endpoint index; the parent's edge already resolved ours.
+	owner := n.Host.Owner
+	if !owner.Alive {
+		return // a dead KT node never replies
+	}
+	ni := owner.Index
+	if parent != nil {
+		ni = parent.chi
+	}
+	col := lbnode.MakeLBICollect(rd.lbiInbox[n], len(n.Children))
+	if col.Done() {
+		rd.lbiComplete(parent, col.Aggregate())
+		return
+	}
+	nd := slabAlloc(&rd.lbiNodes)
+	nd.rd, nd.n, nd.ni, nd.col, nd.parent = rd, n, ni, col, parent
+	nd.expireEv.nd = nd
+	for ci, c := range n.Children {
+		e := slabAlloc(&rd.lbiEdges)
+		e.nd, e.c, e.ci, e.chi = nd, c, ci, hostIdx(c)
+		e.edge = rd.r.tree.EdgeLatency(c)
+		e.down.e, e.up.e = e, e
 		// Both directions are acked and retransmitted: a lost pull would
 		// silence the child's whole subtree, compounding per level, so
 		// the epoch timeout is reserved for genuinely dead subtrees.
 		// The reply merges exactly once (receiver dedup).
-		rd.reliable(MsgCollectDown, hostIdx(n), hostIdx(c), edge, func() bool {
-			rd.collectLBI(c, func(sub core.LBI) {
-				rd.reliable(MsgReportUp, hostIdx(c), hostIdx(n), edge, func() bool {
-					// A reply after the epoch closed is absorbed by the
-					// machine — still acked so the child stops resending.
-					if col.ChildReply(sub) {
-						cb(col.Aggregate())
-					}
-					return true
-				}, nil)
-			})
-			return true
-		}, nil)
+		rd.reliableEv(MsgCollectDown, ni, e.chi, e.edge, &e.down)
 	}
-	rd.r.eng.Schedule(rd.epochWindow(n), func() {
-		if timedOut, expired := col.Expire(); expired {
-			rd.res.TimedOutChildren += timedOut
-			cb(col.Aggregate())
-		}
-	})
+	// The epoch timer is canceled the moment the last child replies —
+	// on a healthy tree no epoch timer ever fires.
+	nd.expire = rd.r.eng.AfterEv(rd.epochWindow(n), &nd.expireEv)
+}
+
+// lbiComplete routes a finished subtree's aggregate: up the parent
+// edge, or into the round's continuation at the root.
+//
+//lbvet:hotpath
+func (rd *round) lbiComplete(parent *lbiEdge, agg core.LBI) {
+	if parent != nil {
+		parent.sub = agg
+		rd.reliableEv(MsgReportUp, parent.chi, parent.nd.ni, parent.edge, &parent.up)
+		return
+	}
+	rd.onLBIRoot(agg)
+}
+
+type lbiDown struct{ e *lbiEdge }
+
+// HandleMsg: the downward pull reached the child — start its epoch.
+//
+//lbvet:hotpath
+func (d *lbiDown) HandleMsg() bool {
+	e := d.e
+	e.nd.rd.startLBI(e.c, e)
+	return true
+}
+
+func (d *lbiDown) SettleMsg(bool) {}
+
+type lbiUp struct{ e *lbiEdge }
+
+// HandleMsg: the child subtree's aggregate reached the parent. A reply
+// after the epoch closed is absorbed by the machine — still acked so
+// the child stops resending. Replies are buffered under their child
+// index, so the fold order (and the global's float bits) is the same
+// no matter when each subtree answers.
+//
+//lbvet:hotpath
+func (u *lbiUp) HandleMsg() bool {
+	e := u.e
+	nd := e.nd
+	if nd.col.ChildReply(e.ci, e.sub) {
+		nd.rd.r.eng.Cancel(nd.expire)
+		nd.rd.lbiComplete(nd.parent, nd.col.Aggregate())
+	}
+	return true
+}
+
+func (u *lbiUp) SettleMsg(bool) {}
+
+// lbiExpire fires the epoch timeout: give up on the silent children
+// and report what arrived.
+type lbiExpire struct{ nd *lbiNode }
+
+func (x *lbiExpire) RunEvent() {
+	nd := x.nd
+	if timedOut, expired := nd.col.Expire(); expired {
+		nd.rd.res.TimedOutChildren += timedOut
+		nd.rd.lbiComplete(nd.parent, nd.col.Aggregate())
+	}
 }
 
 // disseminate pushes the global tuple down the tree; each leaf delivery
@@ -510,27 +828,47 @@ func (rd *round) collectLBI(n *ktree.Node, cb func(core.LBI)) {
 // landed (ack) or the retries ran dry — so the VSA epoch always starts.
 func (rd *round) disseminate(n *ktree.Node) {
 	rd.publishing++ // guards VSA start until this subtree finishes
-	var walk func(n *ktree.Node)
-	walk = func(n *ktree.Node) {
-		if !rd.alive(n) {
-			return
-		}
-		if n.IsLeaf() {
-			rd.classifyAndPublish(n.Host.Owner)
-			return
-		}
-		for _, c := range n.Children {
-			c := c
-			edge := rd.r.tree.EdgeLatency(c)
-			rd.publishing++
-			rd.reliable(MsgDisperse, hostIdx(n), hostIdx(c), edge,
-				func() bool { walk(c); return true },
-				func(bool) { rd.publishDone() })
-		}
-	}
-	walk(n)
+	rd.dispWalk(n)
 	rd.publishDone()
 }
+
+// dispWalk delivers the global tuple to n and pushes it on to n's
+// children over slab-pooled per-edge handlers.
+//
+//lbvet:hotpath
+func (rd *round) dispWalk(n *ktree.Node) {
+	owner := n.Host.Owner
+	if !owner.Alive {
+		return
+	}
+	if n.IsLeaf() {
+		rd.classifyAndPublish(owner)
+		return
+	}
+	ni := owner.Index
+	for _, c := range n.Children {
+		e := slabAlloc(&rd.dispEdges)
+		e.rd, e.c = rd, c
+		rd.publishing++
+		rd.reliableEv(MsgDisperse, ni, hostIdx(c), rd.r.tree.EdgeLatency(c), e)
+	}
+}
+
+// dispEdge is one downward dissemination hop: the arriving copy
+// continues the walk below c; settling (acked or drained) releases the
+// publishing guard.
+type dispEdge struct {
+	rd *round
+	c  *ktree.Node
+}
+
+//lbvet:hotpath
+func (e *dispEdge) HandleMsg() bool {
+	e.rd.dispWalk(e.c)
+	return true
+}
+
+func (e *dispEdge) SettleMsg(bool) { e.rd.publishDone() }
 
 // classifyAndPublish runs classification on a node the first time the
 // global tuple reaches it (the roster machine absorbs duplicates), and
@@ -550,12 +888,12 @@ func (rd *round) classifyAndPublish(node *chord.Node) {
 	eng := rd.r.eng
 	switch rd.cfg().Mode {
 	case core.ProximityIgnorant:
-		vs := node.RandomVS(eng.Rand())
-		if vs == nil {
-			all := rd.r.ring.VServers()
-			vs = all[eng.Rand().Intn(len(all))]
+		// The advertisement leaf was drawn in the placement pre-pass —
+		// not here at event time — so it does not depend on the order in
+		// which the global tuple reaches the nodes.
+		if leaf, ok := rd.place.VSALeaf[node]; ok {
+			rd.depositAt(leaf, st, 0)
 		}
-		rd.deposit(vs, st, 0)
 	case core.ProximityAware:
 		key := rd.cfg().Mapper.Key(node.Underlay)
 		group := uint64(key)
@@ -589,6 +927,11 @@ func (rd *round) deposit(vs *chord.VServer, st *core.NodeState, group uint64) {
 	if leaf == nil {
 		return // fresh joiner: the advertisement waits for the next round
 	}
+	rd.depositAt(leaf, st, group)
+}
+
+// depositAt stores a node's VSA entries at an already-resolved leaf.
+func (rd *round) depositAt(leaf *ktree.Node, st *core.NodeState, group uint64) {
 	pl := rd.vsaInbox[leaf]
 	if pl == nil {
 		pl = &core.PairList{}
@@ -625,41 +968,125 @@ func (rd *round) startVSA() {
 // (threshold reached, or the root) pair and notify, and everything
 // unpaired flows upward.
 func (rd *round) collectVSA(n *ktree.Node, isRoot bool, cb func(*core.PairList)) {
-	if !rd.alive(n) {
+	if rd.r.cfg.ParallelSubtrees {
+		rd.startVSAPar(n, cb)
 		return
 	}
-	col := lbnode.NewVSACollect(rd.vsaInbox[n], len(n.Children))
-	finishNode := func() {
-		for _, p := range col.Rendezvous(isRoot, rd.cfg().RendezvousThreshold, rd.global.Lmin) {
-			rd.emitPair(n, p)
-		}
-		cb(col.Lists())
+	rd.startVSANode(n, isRoot, nil, cb)
+}
+
+// vsaNode drives one internal node's VSA epoch — the mirror of lbiNode
+// with a pair list flowing up instead of an LBI tuple, and a
+// rendezvous step on completion.
+type vsaNode struct {
+	rd       *round
+	n        *ktree.Node
+	ni       int
+	isRoot   bool
+	col      lbnode.VSACollect
+	parent   *vsaEdge
+	rootCb   func(*core.PairList) // only at the root
+	expire   sim.Timer
+	expireEv vsaExpire
+}
+
+// vsaEdge is one parent→child link of the VSA epoch.
+type vsaEdge struct {
+	nd   *vsaNode
+	c    *ktree.Node
+	chi  int
+	edge sim.Time
+	sub  *core.PairList
+	down vsaDown
+	up   vsaUp
+}
+
+// startVSANode begins n's epoch; exactly one of parent (interior) and
+// cb (root) is set. Leaves complete synchronously on the caller's
+// stack.
+//
+//lbvet:hotpath
+func (rd *round) startVSANode(n *ktree.Node, isRoot bool, parent *vsaEdge, cb func(*core.PairList)) {
+	owner := n.Host.Owner
+	if !owner.Alive {
+		return
 	}
+	ni := owner.Index
+	if parent != nil {
+		ni = parent.chi
+	}
+	col := lbnode.MakeVSACollect(rd.vsaInbox[n], len(n.Children))
 	if col.Done() {
-		finishNode()
+		rd.finishVSA(n, isRoot, &col, parent, cb)
 		return
 	}
+	nd := slabAlloc(&rd.vsaNodes)
+	nd.rd, nd.n, nd.ni, nd.isRoot, nd.col = rd, n, ni, isRoot, col
+	nd.parent, nd.rootCb = parent, cb
+	nd.expireEv.nd = nd
 	for _, c := range n.Children {
-		c := c
-		edge := rd.r.tree.EdgeLatency(c)
-		rd.reliable(MsgVSADown, hostIdx(n), hostIdx(c), edge, func() bool {
-			rd.collectVSA(c, false, func(sub *core.PairList) {
-				rd.reliable(MsgVSAUp, hostIdx(c), hostIdx(n), edge, func() bool {
-					if col.ChildReply(sub) {
-						finishNode()
-					}
-					return true
-				}, nil)
-			})
-			return true
-		}, nil)
+		e := slabAlloc(&rd.vsaEdges)
+		e.nd, e.c, e.chi = nd, c, hostIdx(c)
+		e.edge = rd.r.tree.EdgeLatency(c)
+		e.down.e, e.up.e = e, e
+		rd.reliableEv(MsgVSADown, ni, e.chi, e.edge, &e.down)
 	}
-	rd.r.eng.Schedule(rd.epochWindow(n), func() {
-		if timedOut, expired := col.Expire(); expired {
-			rd.res.TimedOutChildren += timedOut
-			finishNode()
-		}
-	})
+	// As in collectLBI: the last reply revokes the epoch timer.
+	nd.expire = rd.r.eng.AfterEv(rd.epochWindow(n), &nd.expireEv)
+}
+
+// finishVSA closes n's epoch: rendezvous-pair what this subtree can,
+// then flow the unpaired remainder up the parent edge (or into the
+// round's continuation at the root).
+//
+//lbvet:hotpath
+func (rd *round) finishVSA(n *ktree.Node, isRoot bool, col *lbnode.VSACollect, parent *vsaEdge, cb func(*core.PairList)) {
+	for _, p := range col.Rendezvous(isRoot, rd.cfg().RendezvousThreshold, rd.global.Lmin) {
+		rd.emitPair(n, p)
+	}
+	left := col.Lists()
+	if parent != nil {
+		parent.sub = left
+		rd.reliableEv(MsgVSAUp, parent.chi, parent.nd.ni, parent.edge, &parent.up)
+		return
+	}
+	cb(left)
+}
+
+type vsaDown struct{ e *vsaEdge }
+
+//lbvet:hotpath
+func (d *vsaDown) HandleMsg() bool {
+	e := d.e
+	e.nd.rd.startVSANode(e.c, false, e, nil)
+	return true
+}
+
+func (d *vsaDown) SettleMsg(bool) {}
+
+type vsaUp struct{ e *vsaEdge }
+
+//lbvet:hotpath
+func (u *vsaUp) HandleMsg() bool {
+	e := u.e
+	nd := e.nd
+	if nd.col.ChildReply(e.sub) {
+		nd.rd.r.eng.Cancel(nd.expire)
+		nd.rd.finishVSA(nd.n, nd.isRoot, &nd.col, nd.parent, nd.rootCb)
+	}
+	return true
+}
+
+func (u *vsaUp) SettleMsg(bool) {}
+
+type vsaExpire struct{ nd *vsaNode }
+
+func (x *vsaExpire) RunEvent() {
+	nd := x.nd
+	if timedOut, expired := nd.col.Expire(); expired {
+		nd.rd.res.TimedOutChildren += timedOut
+		nd.rd.finishVSA(nd.n, nd.isRoot, &nd.col, nd.parent, nd.rootCb)
+	}
 }
 
 // emitPair sends the pairing to both endpoints and starts the two-phase
@@ -667,25 +1094,22 @@ func (rd *round) collectVSA(n *ktree.Node, isRoot bool, cb func(*core.PairList))
 // transfer); the light endpoint's copy is informational — the prepare
 // phase re-validates the receiver — so it rides an unreliable send.
 func (rd *round) emitPair(rendezvous *ktree.Node, p core.Pair) {
+	if rd.deferPairs != nil {
+		// Parallel worker: pairing side effects (handoffs mutate the
+		// shared ring) are recorded with their virtual emission time
+		// and replayed on the root engine at the join.
+		*rd.deferPairs = append(*rd.deferPairs, timedPair{at: rd.r.eng.Now(), n: rendezvous, p: p})
+		return
+	}
 	eng := rd.r.eng
 	host := rendezvous.Host.Owner
 	costFrom := rd.r.ring.Latency(host, p.From) + 1
 	costTo := rd.r.ring.Latency(host, p.To) + 1
 	rd.outstandingTransfers++
 	h := &handoff{rd: rd, rendezvous: rendezvous, m: lbnode.NewHandoff(p), assignedAt: eng.Now() - rd.start}
+	h.assign.h, h.prep.h, h.commitH.h = h, h, h
 	eng.Deliver(MsgAssign, host.Index, p.To.Index, costTo, func() {})
-	rd.reliable(MsgAssign, host.Index, p.From.Index, costFrom,
-		func() bool {
-			// ack=false models a dead heavy endpoint: silent, no ack.
-			ack, op := h.m.AssignReceived()
-			h.apply(op)
-			return ack
-		},
-		func(ok bool) {
-			if !ok {
-				h.apply(h.m.Fail())
-			}
-		})
+	rd.reliableEv(MsgAssign, host.Index, p.From.Index, costFrom, &h.assign)
 }
 
 // handoff drives one lbnode.Handoff machine — the two-phase
@@ -700,6 +1124,64 @@ type handoff struct {
 	m          *lbnode.Handoff
 	assignedAt sim.Time
 	cost       sim.Time // heavy → light latency, fixed at prepare time
+
+	// The three phases' reliable-exchange handler roles, embedded so a
+	// handoff costs one allocation total (see rhandler).
+	assign  assignH
+	prep    prepareH
+	commitH commitH
+}
+
+// assignH: the rendezvous→heavy assignment message.
+type assignH struct{ h *handoff }
+
+func (a *assignH) HandleMsg() bool {
+	// ack=false models a dead heavy endpoint: silent, no ack.
+	ack, op := a.h.m.AssignReceived()
+	a.h.apply(op)
+	return ack
+}
+
+func (a *assignH) SettleMsg(ok bool) {
+	if !ok {
+		a.h.apply(a.h.m.Fail())
+	}
+}
+
+// prepareH: the heavy→light reservation. Acceptance (the machine, while
+// the receiver is alive and the pairing unsettled) is the ack; a dead
+// receiver is silent and the sender's retries drain into an abort.
+type prepareH struct{ h *handoff }
+
+func (pr *prepareH) HandleMsg() bool { return pr.h.m.PrepareReceived() }
+
+func (pr *prepareH) SettleMsg(ok bool) {
+	if !ok {
+		pr.h.apply(pr.h.m.Fail())
+		return
+	}
+	pr.h.apply(pr.h.m.PrepareAcked())
+}
+
+// commitH: the heavy→light VS shipment. The FIRST commit copy the
+// machine accepts applies ring.Transfer — the dedup set plus the
+// machine's exactly-once contract make duplicated or retransmitted
+// commits idempotent, so the VS is moved exactly once and never
+// double-hosted.
+type commitH struct{ h *handoff }
+
+func (c *commitH) HandleMsg() bool {
+	if !c.h.m.TransferReceived() {
+		return false
+	}
+	c.h.complete()
+	return true
+}
+
+func (c *commitH) SettleMsg(ok bool) {
+	if !ok {
+		c.h.apply(c.h.m.Fail())
+	}
 }
 
 // apply performs the outgoing action a machine transition requested.
@@ -715,43 +1197,17 @@ func (h *handoff) apply(op lbnode.HandoffOp) {
 	}
 }
 
-// prepare sends the reservation heavy → light. Acceptance (the machine
-// while the receiver is alive and the pairing unsettled) is the ack; a
-// dead receiver is silent and the sender's retries drain into an abort.
+// prepare sends the reservation heavy → light.
 func (h *handoff) prepare() {
 	p := h.m.Pair
 	h.cost = h.rd.r.ring.Latency(p.From, p.To) + 1
-	h.rd.reliable(MsgPrepare, p.From.Index, p.To.Index, h.cost,
-		func() bool { return h.m.PrepareReceived() },
-		func(ok bool) {
-			if !ok {
-				h.apply(h.m.Fail())
-				return
-			}
-			h.apply(h.m.PrepareAcked())
-		})
+	h.rd.reliableEv(MsgPrepare, p.From.Index, p.To.Index, h.cost, &h.prep)
 }
 
-// commit ships the VS once the reservation is acknowledged. The FIRST
-// commit copy the machine accepts applies ring.Transfer — the dedup set
-// plus the machine's exactly-once contract make duplicated or
-// retransmitted commits idempotent, so the VS is moved exactly once and
-// never double-hosted.
+// commit ships the VS once the reservation is acknowledged.
 func (h *handoff) commit() {
 	p := h.m.Pair
-	h.rd.reliable(MsgTransfer, p.From.Index, p.To.Index, h.cost,
-		func() bool {
-			if !h.m.TransferReceived() {
-				return false
-			}
-			h.complete()
-			return true
-		},
-		func(ok bool) {
-			if !ok {
-				h.apply(h.m.Fail())
-			}
-		})
+	h.rd.reliableEv(MsgTransfer, p.From.Index, p.To.Index, h.cost, &h.commitH)
 }
 
 // complete applies the transfer at the receiver on the commit copy the

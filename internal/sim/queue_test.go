@@ -1,0 +1,446 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// refEvent / refQueue is a reference implementation of the engine's
+// firing contract — a straight container/heap ordered by (at, seq) with
+// canceled entries skipped at pop — used by the property test to check
+// the timer wheel against an independently implemented oracle.
+type refEvent struct {
+	at       Time
+	seq      uint64
+	id       int
+	canceled *bool
+}
+
+type refQueue []refEvent
+
+func (h refQueue) Len() int { return len(h) }
+func (h refQueue) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refQueue) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *refQueue) Push(x interface{}) { *h = append(*h, x.(refEvent)) }
+func (h *refQueue) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = refEvent{}
+	*h = old[:n-1]
+	return x
+}
+
+// popLive removes and returns the next non-canceled event.
+func (h *refQueue) popLive() (refEvent, bool) {
+	for h.Len() > 0 {
+		ev := heap.Pop(h).(refEvent)
+		if ev.canceled == nil || !*ev.canceled {
+			return ev, true
+		}
+	}
+	return refEvent{}, false
+}
+
+func (h *refQueue) liveLen() int {
+	n := 0
+	for _, ev := range *h {
+		if ev.canceled == nil || !*ev.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// TestQueuePropertyVsReferenceHeap drives the wheel/far-heap queue and
+// the reference heap with identical random schedule/cancel/step
+// sequences and asserts identical firing order — including FIFO order
+// among equal timestamps — identical firing times, and agreeing Cancel
+// outcomes. Delays are drawn across three regimes (same-tick, in-wheel,
+// beyond the wheel horizon) so migration and the far heap are exercised.
+func TestQueuePropertyVsReferenceHeap(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		r := rand.New(rand.NewSource(int64(1000 + trial)))
+		e := NewEngine(1)
+		ref := &refQueue{}
+		var refSeq uint64
+		nextID := 0
+		var got []int // ids in engine firing order
+
+		type liveTimer struct {
+			timer           Timer
+			canceled, fired *bool
+		}
+		var timers []liveTimer
+
+		schedule := func() {
+			var delay Time
+			switch r.Intn(3) {
+			case 0:
+				delay = Time(r.Intn(4)) // same/near tick: FIFO ties
+			case 1:
+				delay = Time(r.Intn(wheelSize - 1)) // in the wheel
+			default:
+				delay = Time(r.Intn(3*wheelSize) + wheelSize) // far heap
+			}
+			id := nextID
+			nextID++
+			refSeq++
+			if r.Intn(2) == 0 {
+				canceled, fired := false, false
+				tm := e.After(delay, func() { got = append(got, id); fired = true })
+				heap.Push(ref, refEvent{at: e.Now() + delay, seq: refSeq, id: id, canceled: &canceled})
+				timers = append(timers, liveTimer{timer: tm, canceled: &canceled, fired: &fired})
+			} else {
+				e.Schedule(delay, func() { got = append(got, id) })
+				heap.Push(ref, refEvent{at: e.Now() + delay, seq: refSeq, id: id})
+			}
+		}
+
+		cancel := func() {
+			if len(timers) == 0 {
+				return
+			}
+			i := r.Intn(len(timers))
+			lt := timers[i]
+			wantOK := !*lt.canceled && !*lt.fired
+			*lt.canceled = true
+			if gotOK := e.Cancel(lt.timer); gotOK != wantOK {
+				t.Fatalf("trial %d: Cancel = %v, reference says %v", trial, gotOK, wantOK)
+			}
+			timers[i] = timers[len(timers)-1]
+			timers = timers[:len(timers)-1]
+		}
+
+		step := func() {
+			before := len(got)
+			ok := e.Step()
+			want, wantOK := ref.popLive()
+			if ok != wantOK {
+				t.Fatalf("trial %d: Step = %v, reference %v", trial, ok, wantOK)
+			}
+			if !ok {
+				return
+			}
+			// Timer callbacks fired by Step appended exactly one id.
+			if len(got) != before+1 || got[len(got)-1] != want.id {
+				t.Fatalf("trial %d: fired id %v, reference expects %d", trial, got[before:], want.id)
+			}
+			if e.Now() != want.at {
+				t.Fatalf("trial %d: fired at %d, reference expects %d", trial, e.Now(), want.at)
+			}
+		}
+
+		for op := 0; op < 3000; op++ {
+			switch x := r.Intn(10); {
+			case x < 5:
+				schedule()
+			case x < 6:
+				cancel()
+			default:
+				step()
+			}
+			if e.Pending() != ref.liveLen() {
+				t.Fatalf("trial %d: Pending = %d, reference %d", trial, e.Pending(), ref.liveLen())
+			}
+		}
+		// Drain both completely.
+		for {
+			want, wantOK := ref.popLive()
+			if !wantOK {
+				break
+			}
+			before := len(got)
+			if !e.Step() {
+				t.Fatalf("trial %d: engine drained early, reference still has id %d", trial, want.id)
+			}
+			if got[before] != want.id || e.Now() != want.at {
+				t.Fatalf("trial %d: drain fired id %d at %d, want id %d at %d",
+					trial, got[before], e.Now(), want.id, want.at)
+			}
+		}
+		if e.Step() {
+			t.Fatalf("trial %d: engine has events after reference drained", trial)
+		}
+	}
+}
+
+// TestFarMigrationPreservesSeqOrder pins the tie-break across the
+// far→wheel migration boundary: an event scheduled for tick T while T
+// was beyond the horizon must fire before an event scheduled directly
+// into T's bucket later (smaller seq first), matching the heap
+// semantics.
+func TestFarMigrationPreservesSeqOrder(t *testing.T) {
+	e := NewEngine(1)
+	target := Time(wheelSize + 100)
+	var order []int
+	e.Schedule(target, func() { order = append(order, 1) }) // parks far
+	e.Schedule(200, func() {
+		// Clock is at 200: target is now inside the horizon, so this
+		// lands in the same bucket behind the migrated event.
+		e.Schedule(target-200, func() { order = append(order, 2) })
+	})
+	e.Run()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("cross-horizon same-tick order = %v, want [1 2]", order)
+	}
+}
+
+// TestQueueZeroesVacatedSlots is the white-box half of the old
+// eventHeap.Pop leak fix: after events fire (or timers are canceled),
+// every vacated bucket slot, far-heap slot and timer-arena slot must be
+// zeroed so dead closures are not pinned for the life of the run.
+func TestQueueZeroesVacatedSlots(t *testing.T) {
+	e := NewEngine(1)
+	// Near events, several per tick, plus far events and canceled
+	// timers in both regions.
+	var obj nopEventer
+	for i := 0; i < 64; i++ {
+		e.Schedule(Time(i%7), func() {})
+		e.Schedule(Time(wheelSize+i), func() {})
+		e.ScheduleEv(Time(i%5), &obj)
+	}
+	nearT := e.After(3, func() {})
+	farT := e.After(wheelSize+5000, func() {})
+	nearTE := e.AfterEv(4, &obj)
+	e.Cancel(nearT)
+	e.Cancel(farT)
+	e.Cancel(nearTE)
+	e.Run()
+
+	q := &e.q
+	for i := range q.buckets {
+		b := &q.buckets[i]
+		if len(b.evs) != 0 || b.next != 0 {
+			t.Fatalf("bucket %d not recycled: len=%d next=%d", i, len(b.evs), b.next)
+		}
+		full := b.evs[:cap(b.evs)]
+		for j := range full {
+			if full[j].fn != nil || full[j].ev != nil || full[j].at != 0 || full[j].seq != 0 || full[j].slot != 0 {
+				t.Fatalf("bucket %d slot %d not zeroed: %+v", i, j, full[j])
+			}
+		}
+	}
+	if len(q.far) != 0 {
+		t.Fatalf("far heap not drained: %d", len(q.far))
+	}
+	farFull := q.far[:cap(q.far)]
+	for j := range farFull {
+		if farFull[j].fn != nil || farFull[j].ev != nil || farFull[j].at != 0 || farFull[j].seq != 0 {
+			t.Fatalf("far slot %d not zeroed: %+v", j, farFull[j])
+		}
+	}
+	for i := range q.timers {
+		s := &q.timers[i]
+		if s.armed || s.fn != nil || s.ev != nil {
+			t.Fatalf("timer slot %d still armed/pinning: %+v", i, s)
+		}
+	}
+}
+
+// nopEventer is a trivial sim.Eventer for scheduling-path tests.
+type nopEventer struct{ fired int }
+
+func (n *nopEventer) RunEvent() { n.fired++ }
+
+// TestEventerOrdering checks the object-form schedulers share the
+// closure form's FIFO tie-break: at one instant, events fire in
+// scheduling order regardless of which form enqueued them.
+func TestEventerOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	rec := func(i int) func() { return func() { order = append(order, i) } }
+	e.Schedule(5, rec(0))
+	e.ScheduleEv(5, eventerFunc(rec(1)))
+	e.Schedule(5, rec(2))
+	e.AfterEv(5, eventerFunc(rec(3)))
+	e.ScheduleEv(5, eventerFunc(rec(4)))
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("interleaved Schedule/ScheduleEv/AfterEv order = %v, want 0..4 in place", order)
+		}
+	}
+	if len(order) != 5 {
+		t.Fatalf("fired %d of 5 events", len(order))
+	}
+}
+
+type eventerFunc func()
+
+func (f eventerFunc) RunEvent() { f() }
+
+func TestAfterCancelSemantics(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	tm := e.After(10, func() { fired++ })
+	if !e.Cancel(tm) {
+		t.Fatal("first Cancel of a pending timer must report true")
+	}
+	if e.Cancel(tm) {
+		t.Fatal("second Cancel must report false")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after cancel, want 0", e.Pending())
+	}
+	e.Run()
+	if fired != 0 {
+		t.Fatal("canceled timer fired")
+	}
+
+	// Cancel after fire reports false; zero Timer is a no-op.
+	tm = e.After(5, func() { fired++ })
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("timer fired %d times, want 1", fired)
+	}
+	if e.Cancel(tm) {
+		t.Fatal("Cancel after fire must report false")
+	}
+	if e.Cancel(Timer{}) {
+		t.Fatal("Cancel of zero Timer must report false")
+	}
+
+	// Slot reuse must not resurrect old handles: the recycled slot's
+	// generation differs, so the stale handle cancels nothing.
+	stale := e.After(10, func() {})
+	e.Cancel(stale)
+	ran := false
+	fresh := e.After(10, func() { ran = true })
+	if e.Cancel(stale) {
+		t.Fatal("stale handle must not cancel the recycled slot")
+	}
+	e.Run()
+	if !ran {
+		t.Fatal("fresh timer on recycled slot did not fire")
+	}
+	_ = fresh
+}
+
+// TestCancelFarTimer pins eager removal from the far heap: canceling a
+// timer parked beyond the wheel horizon drops it from the queue
+// immediately (Pending) and it never fires.
+func TestCancelFarTimer(t *testing.T) {
+	e := NewEngine(1)
+	fired := []int{}
+	keep := func(id int) func() { return func() { fired = append(fired, id) } }
+	t1 := e.After(wheelSize+10, keep(1))
+	_ = e.After(wheelSize+20, keep(2))
+	t3 := e.After(3*wheelSize+7, keep(3))
+	e.Cancel(t1)
+	e.Cancel(t3)
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if len(fired) != 1 || fired[0] != 2 {
+		t.Fatalf("fired = %v, want [2]", fired)
+	}
+	if e.Now() != wheelSize+20 {
+		t.Fatalf("Now = %d", e.Now())
+	}
+}
+
+// TestResetMessageStatsClearsDropped is the regression test for the
+// drop-count leak: ResetMessageStats cleared msgCount/msgCost but not
+// dropped, so experiment phases double-reported drops.
+func TestResetMessageStatsClearsDropped(t *testing.T) {
+	e := NewEngine(1)
+	e.SetFilter(&recordingFilter{script: map[string][]Time{"drop": nil}})
+	e.Deliver("drop", 0, 1, 2, func() {})
+	e.Deliver("drop", 0, 1, 2, func() {})
+	if e.DroppedTotal() != 2 || e.DroppedCount("drop") != 2 {
+		t.Fatalf("pre-reset drops = %d/%d", e.DroppedTotal(), e.DroppedCount("drop"))
+	}
+	e.ResetMessageStats()
+	if e.DroppedTotal() != 0 || e.DroppedCount("drop") != 0 {
+		t.Fatalf("ResetMessageStats leaked drop counts: total=%d kind=%d",
+			e.DroppedTotal(), e.DroppedCount("drop"))
+	}
+	// Accounting keeps working after the reset.
+	e.Deliver("drop", 0, 1, 2, func() {})
+	if e.DroppedTotal() != 1 {
+		t.Fatalf("post-reset drops = %d, want 1", e.DroppedTotal())
+	}
+}
+
+func TestEveryCancelReleasesTimer(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	cancel := e.Every(10, func() { count++ })
+	e.RunUntil(35)
+	cancel()
+	if e.Pending() != 0 {
+		t.Fatalf("canceled Every left %d pending events", e.Pending())
+	}
+	e.RunUntil(1000)
+	if count != 3 {
+		t.Fatalf("Every fired %d times, want 3", count)
+	}
+}
+
+func BenchmarkSchedule(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Time(i%64), fn)
+		if i%1024 == 1023 {
+			e.Run()
+		}
+	}
+	e.Run()
+}
+
+func BenchmarkStep(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Time(i%64), fn)
+	}
+	b.ResetTimer()
+	for e.Step() {
+	}
+}
+
+func BenchmarkScheduleFar(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Time(wheelSize+i%5000), fn)
+		if i%1024 == 1023 {
+			e.Run()
+		}
+	}
+	e.Run()
+}
+
+func BenchmarkAfterCancel(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm := e.After(Time(100+i%64), fn)
+		e.Cancel(tm)
+	}
+}
+
+func BenchmarkDeliver(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Deliver("bench", 0, 1, Time(i%8), fn)
+		if i%1024 == 1023 {
+			e.Run()
+		}
+	}
+	e.Run()
+}

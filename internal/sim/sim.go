@@ -17,7 +17,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -28,43 +27,17 @@ import (
 // Time is a point in virtual time, in latency units.
 type Time int64
 
-// Event is a scheduled callback.
-type event struct {
-	at  Time
-	seq uint64
-	fn  func()
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
-
 // Engine is a deterministic event queue with virtual time, a seeded RNG
 // and per-kind message accounting. It is not safe for concurrent use;
 // each simulation instance owns one engine (multi-trial experiments run
-// one engine per goroutine).
+// one engine per goroutine). Events live in a bucketed timer wheel with
+// a far-horizon overflow heap (see queue.go); firing order is (at, seq),
+// i.e. equal timestamps fire in scheduling order.
 type Engine struct {
-	now      Time
-	seq      uint64
-	events   eventHeap
+	q        eventQueue
+	seed     int64
 	rng      *rand.Rand
-	msgCount map[string]int64
-	msgCost  map[string]int64
+	msgStats map[string]*msgStat
 	executed uint64
 
 	// Optional metrics sink. Per-kind counters are cached (one map
@@ -85,6 +58,12 @@ type msgCounters struct {
 	count, cost *metrics.Counter
 }
 
+// msgStat is the per-kind accounting cell: one map lookup per message
+// updates both the count and the cost.
+type msgStat struct {
+	count, cost int64
+}
+
 // NoNode marks a Deliver endpoint with no physical-node identity (setup
 // paths, broadcasts). Filters must pass such messages through verbatim —
 // they cannot place them on either side of a partition.
@@ -102,14 +81,20 @@ type MessageFilter interface {
 // NewEngine returns an engine at time 0 with a deterministic RNG.
 func NewEngine(seed int64) *Engine {
 	return &Engine{
+		seed:     seed,
 		rng:      rand.New(rand.NewSource(seed)),
-		msgCount: make(map[string]int64),
-		msgCost:  make(map[string]int64),
+		msgStats: make(map[string]*msgStat),
 	}
 }
 
+// Seed returns the seed this engine was constructed with. Fan-out
+// layers derive per-worker engine seeds from it without consuming the
+// engine's own RNG stream (a draw would perturb every later draw and
+// break equivalence with a sequential run).
+func (e *Engine) Seed() int64 { return e.seed }
+
 // Now returns the current virtual time.
-func (e *Engine) Now() Time { return e.now }
+func (e *Engine) Now() Time { return e.q.now }
 
 // Rand returns the engine's RNG. All randomness in a simulation must come
 // from here to keep runs reproducible.
@@ -140,6 +125,15 @@ func (e *Engine) SetMetrics(r *metrics.Registry) {
 // Metrics returns the attached registry (nil when none).
 func (e *Engine) Metrics() *metrics.Registry { return e.reg }
 
+// Eventer is the object form of an event callback: ScheduleEv,
+// DeliverEv and AfterEv enqueue it without materializing a closure, so
+// hot senders can embed small adapter structs in a pooled object and
+// schedule interior pointers at zero allocations. RunEvent fires when
+// the event's virtual time arrives.
+type Eventer interface {
+	RunEvent()
+}
+
 // Schedule runs fn after delay units of virtual time. A zero delay runs
 // fn after all events already scheduled for the current instant.
 // Negative delays panic.
@@ -150,12 +144,98 @@ func (e *Engine) Schedule(delay Time, fn func()) {
 		//lbvet:ignore hotalloc panic guard, never taken on correct runs
 		panic(fmt.Sprintf("sim: negative delay %d", delay))
 	}
-	e.seq++
-	//lbvet:ignore hotalloc container/heap boxes each event; the arena/index-heap rework is a ROADMAP item
-	heap.Push(&e.events, event{at: e.now + delay, seq: e.seq, fn: fn})
+	e.q.push(e.q.now+delay, fn, nil, -1, 0)
 	if e.queueDepth != nil {
-		e.queueDepth.Observe(int64(len(e.events)))
+		e.queueDepth.Observe(int64(e.q.pending))
 	}
+}
+
+// ScheduleEv is Schedule for an Eventer callback.
+//
+//lbvet:hotpath
+func (e *Engine) ScheduleEv(delay Time, ev Eventer) {
+	if delay < 0 {
+		//lbvet:ignore hotalloc panic guard, never taken on correct runs
+		panic(fmt.Sprintf("sim: negative delay %d", delay))
+	}
+	e.q.push(e.q.now+delay, nil, ev, -1, 0)
+	if e.queueDepth != nil {
+		e.queueDepth.Observe(int64(e.q.pending))
+	}
+}
+
+// Timer is a handle to a cancelable callback scheduled with After. The
+// zero Timer is invalid; Cancel on it is a no-op.
+type Timer struct {
+	id  int32 // arena slot + 1; 0 = invalid
+	gen uint32
+}
+
+// Zero reports whether t is the zero Timer — never armed. A fired or
+// canceled timer's handle is non-zero but stale; Cancel distinguishes
+// those by generation.
+func (t Timer) Zero() bool { return t.id == 0 }
+
+// After schedules fn to run after delay units of virtual time, like
+// Schedule, and returns a handle that Cancel accepts. Use it for
+// timeout/retransmission timers that are usually canceled before they
+// fire: a canceled timer is removed from the queue (or skipped) instead
+// of firing into a dead check.
+//
+//lbvet:hotpath
+func (e *Engine) After(delay Time, fn func()) Timer {
+	if delay < 0 {
+		//lbvet:ignore hotalloc panic guard, never taken on correct runs
+		panic(fmt.Sprintf("sim: negative delay %d", delay))
+	}
+	slot := e.q.allocTimer(fn, nil)
+	gen := e.q.timers[slot].gen
+	e.q.push(e.q.now+delay, nil, nil, slot, gen)
+	if e.queueDepth != nil {
+		e.queueDepth.Observe(int64(e.q.pending))
+	}
+	return Timer{id: slot + 1, gen: gen}
+}
+
+// AfterEv is After for an Eventer callback.
+//
+//lbvet:hotpath
+func (e *Engine) AfterEv(delay Time, ev Eventer) Timer {
+	if delay < 0 {
+		//lbvet:ignore hotalloc panic guard, never taken on correct runs
+		panic(fmt.Sprintf("sim: negative delay %d", delay))
+	}
+	slot := e.q.allocTimer(nil, ev)
+	gen := e.q.timers[slot].gen
+	e.q.push(e.q.now+delay, nil, nil, slot, gen)
+	if e.queueDepth != nil {
+		e.queueDepth.Observe(int64(e.q.pending))
+	}
+	return Timer{id: slot + 1, gen: gen}
+}
+
+// Cancel revokes a timer scheduled with After. It reports whether the
+// timer was still pending: false means it already fired, was already
+// canceled, or the handle is zero. Canceling is idempotent and cheap —
+// the callback is released immediately, never fires, and the queue slot
+// is reclaimed.
+//
+//lbvet:hotpath
+func (e *Engine) Cancel(t Timer) bool {
+	if t.id == 0 {
+		return false
+	}
+	slot := t.id - 1
+	s := &e.q.timers[slot]
+	if !s.armed || s.gen != t.gen {
+		return false
+	}
+	if s.heapIdx >= 0 {
+		e.q.farRemove(int(s.heapIdx))
+	}
+	e.q.releaseTimer(slot)
+	e.q.pending--
+	return true
 }
 
 // Every schedules fn to run now+interval, now+2·interval, … until the
@@ -165,16 +245,21 @@ func (e *Engine) Every(interval Time, fn func()) (cancel func()) {
 		panic(fmt.Sprintf("sim: non-positive interval %d", interval))
 	}
 	stopped := false
+	var t Timer
 	var tick func()
 	tick = func() {
-		if stopped {
-			return
-		}
 		fn()
-		e.Schedule(interval, tick)
+		if !stopped {
+			t = e.After(interval, tick)
+		}
 	}
-	e.Schedule(interval, tick)
-	return func() { stopped = true }
+	t = e.After(interval, tick)
+	return func() {
+		if !stopped {
+			stopped = true
+			e.Cancel(t)
+		}
+	}
 }
 
 // Step executes the next pending event, advancing virtual time to its
@@ -182,13 +267,12 @@ func (e *Engine) Every(interval Time, fn func()) (cancel func()) {
 //
 //lbvet:hotpath
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
+	ev, ok := e.q.pop()
+	if !ok {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
-	e.now = ev.at
 	e.executed++
-	ev.fn()
+	ev.fire()
 	return true
 }
 
@@ -205,16 +289,21 @@ func (e *Engine) Run() uint64 {
 // RunUntil executes events with timestamps <= deadline, then sets the
 // clock to deadline. Events scheduled beyond the deadline remain queued.
 func (e *Engine) RunUntil(deadline Time) {
-	for len(e.events) > 0 && e.events[0].at <= deadline {
+	for {
+		t, ok := e.q.peek()
+		if !ok || t > deadline {
+			break
+		}
 		e.Step()
 	}
-	if e.now < deadline {
-		e.now = deadline
+	if e.q.now < deadline {
+		e.q.advanceTo(deadline)
 	}
 }
 
-// Pending returns the number of queued events.
-func (e *Engine) Pending() int { return len(e.events) }
+// Pending returns the number of queued events (canceled timers are not
+// counted).
+func (e *Engine) Pending() int { return e.q.pending }
 
 // Executed returns the total number of events executed so far.
 func (e *Engine) Executed() uint64 { return e.executed }
@@ -226,8 +315,12 @@ func (e *Engine) Executed() uint64 { return e.executed }
 //
 //lbvet:hotpath
 func (e *Engine) CountMessage(kind string, cost Time) {
-	e.msgCount[kind]++
-	e.msgCost[kind] += int64(cost)
+	s := e.msgStats[kind]
+	if s == nil {
+		s = e.newMsgStat(kind)
+	}
+	s.count++
+	s.cost += int64(cost)
 	if e.reg != nil {
 		mc, ok := e.mMsg[kind]
 		if !ok {
@@ -250,8 +343,12 @@ func (e *Engine) CountMessageN(kind string, n int64, total Time) {
 	if n <= 0 {
 		return
 	}
-	e.msgCount[kind] += n
-	e.msgCost[kind] += int64(total)
+	s := e.msgStats[kind]
+	if s == nil {
+		s = e.newMsgStat(kind)
+	}
+	s.count += n
+	s.cost += int64(total)
 	if e.reg != nil {
 		mc, ok := e.mMsg[kind]
 		if !ok {
@@ -293,7 +390,7 @@ func (e *Engine) Deliver(kind string, src, dst int, cost Time, fn func()) {
 		e.Schedule(cost, fn)
 		return
 	}
-	copies := e.filter.Deliveries(kind, src, dst, e.now, cost)
+	copies := e.filter.Deliveries(kind, src, dst, e.q.now, cost)
 	if len(copies) == 0 {
 		if e.dropped == nil {
 			//lbvet:ignore hotalloc lazy once-per-engine init on the drop path, only reached under fault plans
@@ -311,6 +408,34 @@ func (e *Engine) Deliver(kind string, src, dst int, cost Time, fn func()) {
 	}
 }
 
+// DeliverEv is Deliver for an Eventer callback: same counting, fault
+// filtering and latency semantics, object-form scheduling.
+//
+//lbvet:hotpath
+func (e *Engine) DeliverEv(kind string, src, dst int, cost Time, ev Eventer) {
+	if e.filter == nil {
+		e.CountMessage(kind, cost)
+		e.ScheduleEv(cost, ev)
+		return
+	}
+	copies := e.filter.Deliveries(kind, src, dst, e.q.now, cost)
+	if len(copies) == 0 {
+		if e.dropped == nil {
+			//lbvet:ignore hotalloc lazy once-per-engine init on the drop path, only reached under fault plans
+			e.dropped = make(map[string]int64)
+		}
+		e.dropped[kind]++
+		return
+	}
+	for _, extra := range copies {
+		if extra < 0 {
+			extra = 0
+		}
+		e.CountMessage(kind, cost+extra)
+		e.ScheduleEv(cost+extra, ev)
+	}
+}
+
 // DroppedCount returns how many messages of kind the filter dropped.
 func (e *Engine) DroppedCount(kind string) int64 { return e.dropped[kind] }
 
@@ -323,16 +448,33 @@ func (e *Engine) DroppedTotal() int64 {
 	return n
 }
 
+// newMsgStat is the cold first-use path of the message counters.
+func (e *Engine) newMsgStat(kind string) *msgStat {
+	s := &msgStat{}
+	e.msgStats[kind] = s
+	return s
+}
+
 // MessageCount returns how many messages of kind were counted.
-func (e *Engine) MessageCount(kind string) int64 { return e.msgCount[kind] }
+func (e *Engine) MessageCount(kind string) int64 {
+	if s := e.msgStats[kind]; s != nil {
+		return s.count
+	}
+	return 0
+}
 
 // MessageCost returns the total delivery cost of messages of kind.
-func (e *Engine) MessageCost(kind string) int64 { return e.msgCost[kind] }
+func (e *Engine) MessageCost(kind string) int64 {
+	if s := e.msgStats[kind]; s != nil {
+		return s.cost
+	}
+	return 0
+}
 
 // MessageKinds returns all message kinds seen, sorted.
 func (e *Engine) MessageKinds() []string {
-	kinds := make([]string, 0, len(e.msgCount))
-	for k := range e.msgCount {
+	kinds := make([]string, 0, len(e.msgStats))
+	for k := range e.msgStats {
 		kinds = append(kinds, k)
 	}
 	sort.Strings(kinds)
@@ -342,15 +484,16 @@ func (e *Engine) MessageKinds() []string {
 // TotalMessages returns the count of all messages of every kind.
 func (e *Engine) TotalMessages() int64 {
 	var n int64
-	for _, c := range e.msgCount {
-		n += c
+	for _, s := range e.msgStats {
+		n += s.count
 	}
 	return n
 }
 
-// ResetMessageStats clears message accounting (used between experiment
-// phases so each phase reports its own traffic).
+// ResetMessageStats clears message accounting, including drop counts
+// (used between experiment phases so each phase reports its own
+// traffic — without the drop reset, fault-sweep phases double-report).
 func (e *Engine) ResetMessageStats() {
-	e.msgCount = make(map[string]int64)
-	e.msgCost = make(map[string]int64)
+	e.msgStats = make(map[string]*msgStat)
+	e.dropped = nil
 }
