@@ -1,10 +1,12 @@
 # Convenience targets; `make check` is the tier-1 gate (see ROADMAP.md).
 # `make lint` runs the project static-analysis suite alone for fast
 # iteration on lbvet findings. `make bench` runs the scaling benchmark
-# (64k/256k/1M virtual servers), the fault-tolerance sweep and the
-# executor-runtime comparison (protocol vs livenet at 64k/256k VSs),
-# refreshing BENCH_scale.json, BENCH_faults.json and BENCH_runtime.json
-# in the repo root; see EXPERIMENTS.md "Scaling" and "Fault tolerance".
+# (64k/256k/1M virtual servers), the fault-tolerance sweep (256k VSs),
+# the executor-runtime comparison (protocol vs livenet at 64k/256k VSs)
+# and the multi-process cluster chaos run (8 lbd daemons, 3 SIGKILLs),
+# refreshing BENCH_scale.json, BENCH_faults.json, BENCH_runtime.json
+# and BENCH_cluster.json in the repo root; see EXPERIMENTS.md "Scaling",
+# "Fault tolerance" and "Crash tolerance".
 
 .PHONY: check build test race fmt lint bench
 
@@ -18,7 +20,7 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/livenet/ ./internal/par/ ./internal/sim/ ./internal/ktree/ ./internal/daemon/ ./internal/faults/ ./internal/lbnode/
+	go test -race ./internal/livenet/ ./internal/par/ ./internal/sim/ ./internal/ktree/ ./internal/daemon/ ./internal/faults/ ./internal/lbnode/ ./internal/protocol/ ./internal/wire/ ./internal/cluster/
 
 fmt:
 	gofmt -s -w .
@@ -27,4 +29,4 @@ lint:
 	go run ./cmd/lbvet
 
 bench:
-	go run ./cmd/lbbench -bench scale,faults,runtime -out .
+	go run ./cmd/lbbench -bench scale,faults,runtime,cluster -out .

@@ -12,8 +12,11 @@
 # contract, ktree's, daemon's and faults' goroutine-spawning tests,
 # lbnode — whose machines are single-goroutine by construction but
 # whose cross-executor equivalence test drives the concurrent livenet
-# rounds — and protocol, whose opt-in parallel subtree stepper runs
-# one goroutine per root-child subtree); the rest of the tree is
+# rounds — protocol, whose opt-in parallel subtree stepper runs one
+# goroutine per root-child subtree, wire's reader/retry goroutines,
+# and cluster's in-process daemon tests; cluster's child-process e2e
+# tests skip themselves under -race via a build tag, since the race
+# runtime doesn't cross exec). The rest of the tree is
 # single-goroutine by design.
 #
 # The project binaries (lbvet, lbbench) are built exactly once into a
@@ -57,7 +60,7 @@ echo "== go test"
 go test ./...
 
 echo "== go test -race (concurrent packages)"
-go test -race ./internal/livenet/ ./internal/par/ ./internal/sim/ ./internal/ktree/ ./internal/daemon/ ./internal/faults/ ./internal/lbnode/ ./internal/protocol/
+go test -race ./internal/livenet/ ./internal/par/ ./internal/sim/ ./internal/ktree/ ./internal/daemon/ ./internal/faults/ ./internal/lbnode/ ./internal/protocol/ ./internal/wire/ ./internal/cluster/
 
 echo "== lbbench scale smoke (time-boxed, determinism-diffed)"
 # A small scale run keeps the O(log n) maintenance path honest without
@@ -104,8 +107,8 @@ echo "== lbbench fault smoke (time-boxed, determinism-diffed)"
 # determinism, not just its correctness.
 tmp1=$(mktemp -d)
 tmp2=$(mktemp -d)
-timeout 120 "$bin/lbbench" -bench faults -nodes 128 -out "$tmp1"
-timeout 120 "$bin/lbbench" -bench faults -nodes 128 -out "$tmp2"
+timeout 120 "$bin/lbbench" -bench faults -faultnodes 128 -out "$tmp1"
+timeout 120 "$bin/lbbench" -bench faults -faultnodes 128 -out "$tmp2"
 grep -v '"unix_time"\|"wall_ms"' "$tmp1/BENCH_faults.json" > "$tmp1/stripped"
 grep -v '"unix_time"\|"wall_ms"' "$tmp2/BENCH_faults.json" > "$tmp2/stripped"
 if ! diff "$tmp1/stripped" "$tmp2/stripped"; then
@@ -115,5 +118,15 @@ fi
 rm -rf "$tmp1" "$tmp2"
 tmp1=
 tmp2=
+
+echo "== cluster chaos smoke (4 processes, time-boxed)"
+# A real multi-process run: four lbd daemons over TCP, one SIGKILL
+# mid-round, supervisor restart, conservation + settle gates inside the
+# test. -short keeps the bigger 8-process e2e out of this step (it
+# already ran under `go test ./...` above); the hard timeout catches a
+# hung settle — the smoke itself finishes in well under a minute, and
+# each round has its own 30 s in-test settle bound, so 300 s means the
+# supervisor or the harness is wedged, not slow.
+timeout 300 go test -short -count=1 -run TestClusterChaosSmoke ./internal/cluster/
 
 echo "ci: all checks passed"

@@ -30,12 +30,14 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
 
 	"p2plb/internal/chord"
+	"p2plb/internal/cluster"
 	"p2plb/internal/core"
 	"p2plb/internal/exp"
 	"p2plb/internal/ktree"
@@ -55,6 +57,9 @@ type benchConfig struct {
 	ScaleSizes   []int     `json:"scale_sizes,omitempty"`
 	RuntimeSizes []int     `json:"runtime_sizes,omitempty"`
 	DropRates    []float64 `json:"drop_rates,omitempty"`
+	Procs        int       `json:"procs,omitempty"`
+	Rounds       int       `json:"rounds,omitempty"`
+	Kills        int       `json:"kills,omitempty"`
 }
 
 type benchReport struct {
@@ -72,9 +77,14 @@ func main() {
 		seed       = flag.Int64("seed", 1, "base RNG seed")
 		nodes      = flag.Int("nodes", 4096, "number of DHT nodes")
 		graphs     = flag.Int("graphs", 10, "topology instances for fig7")
-		bench      = flag.String("bench", "fig4,vsatime", "comma-separated benchmarks: fig4, fig7, vsatime, scale, faults, runtime")
+		bench      = flag.String("bench", "fig4,vsatime", "comma-separated benchmarks: fig4, fig7, vsatime, scale, faults, runtime, cluster")
 		scalesizes = flag.String("scalesizes", "64000,256000,1000000", "comma-separated virtual-server counts for the scale benchmark")
 		runsizes   = flag.String("runtimesizes", "64000,256000", "comma-separated virtual-server counts for the runtime benchmark")
+		faultnodes = flag.Int("faultnodes", 51200, "number of DHT nodes for the faults benchmark (51200 nodes = 256k VSs)")
+		procs      = flag.Int("procs", 8, "process count for the cluster benchmark")
+		crounds    = flag.Int("clusterrounds", 8, "balancing rounds for the cluster benchmark")
+		ckills     = flag.Int("clusterkills", 3, "SIGKILLs injected by the cluster benchmark")
+		lbdBin     = flag.String("lbd", "", "path to the lbd binary for the cluster benchmark (default: go build it into a temp dir)")
 	)
 	flag.Parse()
 	sizes, err := parseSizes(*scalesizes)
@@ -87,16 +97,38 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lbbench:", err)
 		os.Exit(1)
 	}
+	opts := benchOpts{
+		out: *out, seed: *seed, nodes: *nodes, graphs: *graphs,
+		scaleSizes: sizes, runtimeSizes: rtSizes,
+		faultNodes: *faultnodes,
+		procs:      *procs, clusterRounds: *crounds, clusterKills: *ckills,
+		lbdBin: *lbdBin,
+	}
 	for _, name := range strings.Split(*bench, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
 			continue
 		}
-		if err := runBench(name, *out, *seed, *nodes, *graphs, sizes, rtSizes); err != nil {
+		if err := runBench(name, opts); err != nil {
 			fmt.Fprintln(os.Stderr, "lbbench:", err)
 			os.Exit(1)
 		}
 	}
+}
+
+// benchOpts carries the flag values into runBench.
+type benchOpts struct {
+	out           string
+	seed          int64
+	nodes         int
+	graphs        int
+	scaleSizes    []int
+	runtimeSizes  []int
+	faultNodes    int
+	procs         int
+	clusterRounds int
+	clusterKills  int
+	lbdBin        string
 }
 
 func parseSizes(s string) ([]int, error) {
@@ -115,11 +147,14 @@ func parseSizes(s string) ([]int, error) {
 	return sizes, nil
 }
 
-func runBench(name, out string, seed int64, nodes, graphs int, scaleSizes, runtimeSizes []int) error {
+func runBench(name string, o benchOpts) error {
+	out, seed, nodes, graphs := o.out, o.seed, o.nodes, o.graphs
+	scaleSizes, runtimeSizes := o.scaleSizes, o.runtimeSizes
 	reg := metrics.NewRegistry()
 	cfg := benchConfig{Seed: seed, Nodes: nodes, Epsilon: 0.05}
 	start := time.Now()
 	var results interface{}
+	var mergedSnap *metrics.Snapshot
 	switch name {
 	case "fig4":
 		s := exp.DefaultSetup(seed)
@@ -174,12 +209,10 @@ func runBench(name, out string, seed int64, nodes, graphs int, scaleSizes, runti
 		}
 		results = rows
 	case "faults":
-		// Message-level rounds with retransmission: cap the system size
-		// so the sweep stays time-boxed (ci.sh runs it twice to pin
-		// determinism).
-		if nodes > 512 {
-			nodes = 512
-		}
+		// Message-level rounds with retransmission over the full
+		// 256k-VS system by default; -faultnodes shrinks it for smoke
+		// runs (ci.sh runs the small size twice to pin determinism).
+		nodes = o.faultNodes
 		cfg.Nodes = nodes
 		cfg.DropRates = faultRates
 		rows, err := exp.FaultSweep(seed, nodes, faultRates, 6)
@@ -201,12 +234,28 @@ func runBench(name, out string, seed int64, nodes, graphs int, scaleSizes, runti
 			return err
 		}
 		results = rows
+	case "cluster":
+		cfg.Nodes = 0
+		cfg.Procs = o.procs
+		cfg.Rounds = o.clusterRounds
+		cfg.Kills = o.clusterKills
+		report, snap, err := runCluster(seed, o)
+		if err != nil {
+			return err
+		}
+		results = report
+		mergedSnap = snap
 	default:
-		return fmt.Errorf("unknown benchmark %q (want fig4, fig7, vsatime, scale, faults, runtime)", name)
+		return fmt.Errorf("unknown benchmark %q (want fig4, fig7, vsatime, scale, faults, runtime, cluster)", name)
 	}
 	wall := time.Since(start)
 
 	snap := reg.Snapshot()
+	if mergedSnap != nil {
+		// The cluster benchmark's metrics come merged from the daemons'
+		// /metrics endpoints, not from this process's registry.
+		snap = *mergedSnap
+	}
 	report := benchReport{
 		Name:     name,
 		UnixTime: time.Now().Unix(),
@@ -233,6 +282,43 @@ func runBench(name, out string, seed int64, nodes, graphs int, scaleSizes, runti
 // faultRates is the drop-rate grid of the faults benchmark, matching
 // `lbsim -fig faults`.
 var faultRates = []float64{0, 0.05, 0.10, 0.20, 0.30}
+
+// runCluster drives the multi-process chaos harness: lbd daemons over
+// real TCP, SIGKILLs mid-round, supervisor restarts. The returned
+// snapshot is the union of every daemon's /metrics endpoint (kills,
+// restarts, wire retries, WAL replays), scraped just before teardown.
+func runCluster(seed int64, o benchOpts) (*cluster.ChaosReport, *metrics.Snapshot, error) {
+	bin := o.lbdBin
+	if bin == "" {
+		dir, err := os.MkdirTemp("", "lbbench-lbd")
+		if err != nil {
+			return nil, nil, err
+		}
+		defer os.RemoveAll(dir)
+		bin = filepath.Join(dir, "lbd")
+		cmd := exec.Command("go", "build", "-o", bin, "p2plb/cmd/lbd")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			return nil, nil, fmt.Errorf("building lbd: %v\n%s", err, out)
+		}
+	}
+	dataDir, err := os.MkdirTemp("", "lbbench-cluster")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer os.RemoveAll(dataDir)
+	report, err := cluster.RunChaos(cluster.ChaosConfig{
+		Bin:     bin,
+		DataDir: dataDir,
+		Seed:    seed,
+		Procs:   o.procs,
+		Rounds:  o.clusterRounds,
+		Kills:   o.clusterKills,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return report, report.Metrics, nil
+}
 
 // scaleRow is one system size of the scale benchmark: wall times for
 // the setup phases that used to be quadratic, one closed-form balancing

@@ -1,0 +1,48 @@
+// Command lbd is one physical node of the multi-process load-balancer
+// deployment: it hosts the rank's KT-subtree state machines over the
+// internal/wire protocol, persists two-phase transfers to a per-rank
+// WAL, and serves /metrics over HTTP. The supervisor (internal/cluster)
+// launches one lbd per rank, SIGKILLs them on chaos schedules and
+// restarts them; lbd therefore treats abrupt death as the normal
+// shutdown path and keeps no state outside the WAL.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"p2plb/internal/cluster"
+)
+
+func main() {
+	var (
+		specPath = flag.String("spec", "", "path to the cluster spec (JSON, written by the supervisor)")
+		rank     = flag.Int("rank", -1, "this daemon's rank in the spec's address table")
+		dataDir  = flag.String("data", "", "directory for the WAL")
+	)
+	flag.Parse()
+	if *specPath == "" || *rank < 0 || *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "usage: lbd -spec spec.json -rank N -data dir")
+		os.Exit(2)
+	}
+	spec, err := cluster.LoadSpec(*specPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbd:", err)
+		os.Exit(1)
+	}
+	d, err := cluster.NewDaemon(cluster.DaemonConfig{Spec: spec, Rank: *rank, DataDir: *dataDir})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbd:", err)
+		os.Exit(1)
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case <-sig:
+	case <-d.Done():
+	}
+	d.Close()
+}

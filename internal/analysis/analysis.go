@@ -33,9 +33,13 @@
 //     Dist/Between/Region instead.
 //   - metricsguard: metric registry calls on hot paths stay behind the
 //     nil-registry guard pattern established by the metrics layer.
-//   - layercheck: the runtime-agnostic protocol core (internal/lbnode)
-//     must not import sim, faults or par, and must not spawn
-//     goroutines — executors own delivery and concurrency.
+//   - layercheck: the layer boundaries, as a rule table. The
+//     runtime-agnostic protocol core (internal/lbnode) must not import
+//     sim, faults, par or wire, and must not spawn goroutines —
+//     executors own delivery and concurrency. The transport
+//     (internal/wire) must not import sim or protocol — it moves
+//     opaque frames below every executor, though its own goroutines
+//     are legitimate.
 //   - lockguard: guarded-field inference for the concurrent packages
 //     (livenet, daemon, metrics) — a struct field written under
 //     mu.Lock() anywhere must be accessed under the same mutex

@@ -1,6 +1,7 @@
-// Fixture for the layercheck analyzer: the runtime-agnostic protocol
-// core (internal/lbnode) must not import executor machinery — sim,
-// faults, par — or spawn goroutines. Flagged cases carry a trailing
+// Fixture for the layercheck analyzer, lbnode half (rule selection is
+// by file basename in testdata): the runtime-agnostic protocol core
+// (internal/lbnode) must not import executor machinery — sim, faults,
+// par, wire — or spawn goroutines. Flagged cases carry a trailing
 // want-comment with a message substring; the good* functions are the
 // clean half: pure transitions over the shared data model.
 package layercheck
@@ -11,6 +12,7 @@ import (
 	"p2plb/internal/faults" // want "internal/faults"
 	"p2plb/internal/par"    // want "internal/par"
 	"p2plb/internal/sim"    // want "internal/sim"
+	"p2plb/internal/wire"   // want "internal/wire"
 )
 
 // badEngineClock reads executor virtual time inside the protocol core.
@@ -32,6 +34,11 @@ func badSpawn(out chan<- core.LBI, a, b core.LBI) {
 // goodMerge is a pure transition over the shared data model — the only
 // kind of work the protocol core does.
 func goodMerge(a, b core.LBI) core.LBI { return a.Merge(b) }
+
+// badTransport reaches down into the deployment transport from a state
+// machine: machines emit abstract ops; the cluster executor owns the
+// sockets.
+func badTransport(t *wire.Transport) { t.Close() }
 
 // goodLiveness reads the chord data model: chord and core are state,
 // not machinery, and stay importable.

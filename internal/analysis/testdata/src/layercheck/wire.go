@@ -1,0 +1,30 @@
+// Fixture for the layercheck analyzer, wire half (rule selection is by
+// file basename in testdata): the TCP transport sits below every
+// executor and must not import the simulator or the sim-executor —
+// but, unlike the protocol core, it owns real concurrency, so its `go`
+// statements are clean.
+package layercheck
+
+import (
+	"p2plb/internal/metrics"
+	"p2plb/internal/protocol" // want "internal/protocol"
+	"p2plb/internal/sim"      // want "internal/sim"
+)
+
+// badVirtualClock stamps frames with simulator time: the transport
+// must know nothing of virtual clocks.
+func badVirtualClock(eng *sim.Engine) sim.Time { return eng.Now() }
+
+// badRoundSemantics peeks at sim-executor results from inside the
+// transport: round semantics live above the frame layer.
+func badRoundSemantics(r *protocol.Result) int { return r.Retries }
+
+// goodSpawn: the transport owns sockets and goroutines — concurrency
+// here is the clean case, not a violation.
+func goodSpawn(work chan<- int) {
+	go func() { work <- 1 }()
+}
+
+// goodMetrics: the instrumentation layer is shared plumbing, importable
+// from the transport.
+func goodMetrics(r *metrics.Registry) { r.Counter("wire.sent").Inc() }

@@ -86,6 +86,20 @@ func (n *Node) MinVSLoad() (float64, bool) {
 	return min, true
 }
 
+// NewStandaloneNode returns a physical node that belongs to no ring:
+// it hosts the given virtual servers (their Owner back-links are set)
+// but takes part in no ring bookkeeping. The multi-process deployment
+// uses standalone nodes to run the classification and shed-subset
+// machinery over a daemon's local inventory, where the global ring
+// exists only as the union of all daemons' books.
+func NewStandaloneNode(index int, capacity float64, vss []*VServer) *Node {
+	n := &Node{Index: index, Underlay: -1, Capacity: capacity, Alive: true, vservers: vss}
+	for _, vs := range vss {
+		vs.Owner = n
+	}
+	return n
+}
+
 // RandomVS returns a uniformly random hosted virtual server, or nil if
 // the node hosts none. The paper has each node report through one
 // randomly chosen VS to avoid redundant reports.

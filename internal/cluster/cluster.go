@@ -1,0 +1,176 @@
+// Package cluster is the multi-process deployment of the load balancer:
+// N lbd daemons on one machine, each hosting one physical node's share
+// of the K-nary aggregation tree as the runtime-agnostic lbnode state
+// machines, speaking the internal/wire protocol to each other, and a
+// supervisor that launches the processes, SIGKILLs them on a fault
+// schedule, restarts them with exponential backoff and re-admits them
+// through the write-ahead-log repair path.
+//
+// The KT tree is laid directly over process ranks: rank r's parent is
+// (r-1)/K and its children are K·r+1 … K·r+K (< N), with rank 0 the
+// root. One balancing round is the paper's protocol verbatim — LBI
+// converge-cast up the tree, dissemination down, VSA converge-cast with
+// threshold rendezvous, two-phase VST between the paired endpoints —
+// except that every hop is a retried wire message instead of a
+// simulator event, and the two-phase transfer is persisted to a
+// per-daemon WAL so a SIGKILL at any phase neither loses nor duplicates
+// a virtual server.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"time"
+
+	"p2plb/internal/ident"
+)
+
+// Spec is the cluster-wide configuration, written by the supervisor and
+// read by every daemon. It is the single source of truth for the rank
+// tree, the address table and the deterministic initial inventories.
+type Spec struct {
+	ClusterID string   `json:"cluster_id"`
+	Seed      int64    `json:"seed"`
+	Procs     int      `json:"procs"`
+	K         int      `json:"k"`
+	VSPerNode int      `json:"vs_per_node"`
+	Epsilon   float64  `json:"epsilon"`
+	Threshold int      `json:"threshold"` // rendezvous threshold; 0 = paper default
+	Addrs     []string `json:"addrs"`     // wire address per rank
+	HTTPAddrs []string `json:"http_addrs"`
+	// DriftSigma is the per-round multiplicative load drift: at the
+	// start of round r each daemon scales its node total by
+	// exp(σ·N(0,1)) drawn from a (seed, rank, round) stream. 0 disables
+	// drift.
+	DriftSigma float64 `json:"drift_sigma"`
+	// EpochTimeout is how long a KT node waits for child replies before
+	// closing an epoch with partial data (the soft-state story: a dead
+	// child's subtree simply sits out the round).
+	EpochTimeout time.Duration `json:"epoch_timeout"`
+	// RetryBase/RetryCap/MaxAttempts tune the wire transport's
+	// retransmission ladder; zero values take the wire defaults. Tests
+	// shrink these so bounded sends exhaust quickly.
+	RetryBase   time.Duration `json:"retry_base,omitempty"`
+	RetryCap    time.Duration `json:"retry_cap,omitempty"`
+	MaxAttempts int           `json:"max_attempts,omitempty"`
+}
+
+func (s *Spec) withDefaults() {
+	if s.K <= 0 {
+		s.K = 2
+	}
+	if s.VSPerNode <= 0 {
+		s.VSPerNode = 5
+	}
+	if s.Epsilon == 0 {
+		s.Epsilon = 0.1
+	}
+	if s.EpochTimeout <= 0 {
+		s.EpochTimeout = 1500 * time.Millisecond
+	}
+}
+
+// Parent returns rank r's parent in the KT tree, -1 for the root.
+func (s *Spec) Parent(r int) int {
+	if r == 0 {
+		return -1
+	}
+	return (r - 1) / s.K
+}
+
+// Children returns rank r's children, in rank order.
+func (s *Spec) Children(r int) []int {
+	var out []int
+	for c := s.K*r + 1; c <= s.K*r+s.K && c < s.Procs; c++ {
+		out = append(out, c)
+	}
+	return out
+}
+
+// WriteSpec serializes the spec for daemon processes to load.
+func WriteSpec(path string, s *Spec) error {
+	raw, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// LoadSpec reads a spec written by WriteSpec.
+func LoadSpec(path string) (*Spec, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s := &Spec{}
+	if err := json.Unmarshal(raw, s); err != nil {
+		return nil, fmt.Errorf("cluster: bad spec %s: %w", path, err)
+	}
+	s.withDefaults()
+	if s.Procs < 1 || len(s.Addrs) != s.Procs {
+		return nil, fmt.Errorf("cluster: spec has %d addrs for %d procs", len(s.Addrs), s.Procs)
+	}
+	return s, nil
+}
+
+// VSRec is one virtual server in a serialized inventory.
+type VSRec struct {
+	ID   ident.ID `json:"id"`
+	Load float64  `json:"load"`
+}
+
+// Inventory is one rank's initial holdings.
+type Inventory struct {
+	Capacity float64 `json:"capacity"`
+	VSs      []VSRec `json:"vss"`
+}
+
+// DeriveInventories computes every rank's initial inventory from the
+// cluster seed in one deterministic pass: globally unique identifiers,
+// log-normal per-VS loads (the paper's skewed workload) and mildly
+// heterogeneous capacities. Every daemon and the supervisor derive the
+// same table independently, so a freshly restarted daemon with no WAL
+// yet knows its holdings without any state exchange.
+func DeriveInventories(seed int64, procs, vsPer int) []Inventory {
+	rng := rand.New(rand.NewSource(mixSeed(seed, "inventory")))
+	seen := make(map[ident.ID]bool, procs*vsPer)
+	out := make([]Inventory, procs)
+	for r := 0; r < procs; r++ {
+		inv := Inventory{Capacity: 400 + 400*rng.Float64()}
+		for v := 0; v < vsPer; v++ {
+			id := ident.ID(rng.Uint32())
+			for seen[id] {
+				id = ident.ID(rng.Uint32())
+			}
+			seen[id] = true
+			inv.VSs = append(inv.VSs, VSRec{ID: id, Load: 100 * math.Exp(rng.NormFloat64())})
+		}
+		out[r] = inv
+	}
+	return out
+}
+
+// mixSeed derives an independent RNG stream from the base seed and a
+// label (the same FNV-1a construction internal/faults uses, repeated
+// here because the cluster layer must not depend on the fault injector).
+func mixSeed(seed int64, stream string) int64 {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	for i := 0; i < len(stream); i++ {
+		h ^= uint64(stream[i])
+		h *= fnvPrime
+	}
+	return int64(uint64(seed)*0x9E3779B97F4A7C15 ^ h)
+}
+
+// driftFactor draws the round-r load multiplier for one rank.
+func driftFactor(seed int64, rank int, round uint64, sigma float64) float64 {
+	rng := rand.New(rand.NewSource(mixSeed(seed^int64(rank)<<24^int64(round), "drift")))
+	return math.Exp(sigma * rng.NormFloat64())
+}

@@ -1,0 +1,9 @@
+//go:build !race
+
+package cluster
+
+// raceEnabled gates the heaviest end-to-end tests: the full 8-process
+// chaos run spawns dozens of short-lived processes and is wall-clock
+// bound, so the -race configuration (which runs in CI alongside this
+// one) covers the in-process tests only.
+const raceEnabled = false

@@ -127,6 +127,12 @@ func (a LBI) Merge(b LBI) LBI {
 // Valid reports whether the LBI carries any data.
 func (a LBI) Valid() bool { return a.ok }
 
+// MakeLBI builds a valid LBI tuple from its components. Executors that
+// move tuples across a process boundary (the wire protocol) use it to
+// reconstruct the value a remote machine produced; in-process executors
+// always obtain tuples from NodeLBI or Merge.
+func MakeLBI(l, c, lmin float64) LBI { return LBI{L: l, C: c, Lmin: lmin, ok: true} }
+
 // Config parameterizes a Balancer.
 type Config struct {
 	// Mode selects proximity-ignorant or proximity-aware VSA.

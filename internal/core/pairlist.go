@@ -70,6 +70,36 @@ func (p *PairList) OfferLoad() float64 {
 	return s
 }
 
+// LightEntry is one held light-node advertisement, exposed for
+// executors that must serialize a PairList across a process boundary.
+type LightEntry struct {
+	Deficit float64
+	Node    *chord.Node
+	Group   uint64
+}
+
+// OfferEntry is one held shed-VS offer, exposed for serialization.
+type OfferEntry struct {
+	VS    *chord.VServer
+	Node  *chord.Node
+	Group uint64
+}
+
+// Entries returns copies of the currently held advertisements — the
+// payload a wire executor ships to the parent KT node. The list itself
+// is not consumed.
+func (p *PairList) Entries() ([]LightEntry, []OfferEntry) {
+	lights := make([]LightEntry, len(p.lists.lights))
+	for i, l := range p.lists.lights {
+		lights[i] = LightEntry{Deficit: l.deficit, Node: l.node, Group: l.group}
+	}
+	offers := make([]OfferEntry, len(p.lists.offers))
+	for i, o := range p.lists.offers {
+		offers[i] = OfferEntry{VS: o.vs, Node: o.node, Group: o.group}
+	}
+	return lights, offers
+}
+
 // Pair runs the rendezvous pairing: proximity-local pairing first
 // (same publication cell), then the paper's pooled heaviest-offer ×
 // best-fit rule, re-inserting residual deficits of at least lmin.

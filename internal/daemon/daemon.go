@@ -100,6 +100,9 @@ func (d *Daemon) Start() error {
 	d.cancelRound = d.eng.Every(d.cfg.RoundInterval, d.runRound)
 	if d.cfg.RepairInterval > 0 {
 		d.cancelRepair = d.eng.Every(d.cfg.RepairInterval, func() {
+			if !d.running {
+				return
+			}
 			if _, err := d.tree.Repair(); err == nil {
 				d.repairs++
 				if reg := d.eng.Metrics(); reg != nil {
@@ -172,6 +175,13 @@ func (d *Daemon) unitLoadGini() float64 {
 }
 
 func (d *Daemon) runRound() {
+	// Stop guard: a tick already sitting in the engine queue when Stop
+	// cancelled the interval still fires; it must not start a round (or
+	// run the BeforeRound hook) against a daemon the caller believes is
+	// quiescent.
+	if !d.running {
+		return
+	}
 	if d.cfg.BeforeRound != nil {
 		d.cfg.BeforeRound()
 	}

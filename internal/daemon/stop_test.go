@@ -1,0 +1,52 @@
+package daemon
+
+import (
+	"testing"
+
+	"p2plb/internal/core"
+	"p2plb/internal/protocol"
+)
+
+// TestStopGuard: a round tick that fires after Stop (an event already
+// in the engine queue, or a direct call from a stale timer) must not
+// run a round or the BeforeRound hook against a stopped daemon.
+func TestStopGuard(t *testing.T) {
+	ring, tree, _, _ := fixture(41, 64, 2000)
+	hooked := 0
+	d, err := New(ring, tree, Config{
+		Protocol:      protocol.Config{Core: core.Config{Epsilon: 0.05}},
+		RoundInterval: 1000,
+		BeforeRound:   func() { hooked++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ring.Engine().RunUntil(3500)
+	rounds := len(d.History())
+	if rounds == 0 || hooked == 0 {
+		t.Fatalf("daemon never ran (%d rounds, %d hooks)", rounds, hooked)
+	}
+	d.Stop()
+
+	// A stale tick firing post-Stop is a no-op.
+	hookedAtStop := hooked
+	d.runRound()
+	if len(d.History()) != rounds {
+		t.Fatalf("post-Stop tick appended history: %d -> %d", rounds, len(d.History()))
+	}
+	if hooked != hookedAtStop {
+		t.Fatal("post-Stop tick ran the BeforeRound hook")
+	}
+
+	// And the engine queue holds nothing that revives it.
+	ring.Engine().Run()
+	if len(d.History()) != rounds || hooked != hookedAtStop {
+		t.Fatal("daemon kept running after Stop")
+	}
+
+	// Stop is idempotent.
+	d.Stop()
+}

@@ -1,0 +1,157 @@
+package livenet
+
+import (
+	"context"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"p2plb/internal/chord"
+	"p2plb/internal/core"
+	"p2plb/internal/ident"
+	"p2plb/internal/ktree"
+)
+
+// snapshotPlacement records (node index → sorted VS ids) plus the total
+// load, so tests can assert a cancelled round mutated nothing.
+func snapshotPlacement(ring *chord.Ring) (map[int][]ident.ID, float64) {
+	out := make(map[int][]ident.ID)
+	var total float64
+	for _, n := range ring.Nodes() {
+		var ids []ident.ID
+		for _, vs := range n.VServers() {
+			ids = append(ids, vs.ID)
+			total += vs.Load
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] }) //lbvet:ignore identcompare total-order sort for a stable fingerprint
+		out[n.Index] = ids
+	}
+	return out, total
+}
+
+func placementEqual(a, b map[int][]ident.ID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, av := range a {
+		bv, ok := b[k]
+		if !ok || len(av) != len(bv) {
+			return false
+		}
+		for i := range av {
+			if av[i] != bv[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestRunRoundCtxPreCancelled: a cancelled context fails fast with the
+// ring untouched.
+func TestRunRoundCtxPreCancelled(t *testing.T) {
+	ring, tree := fixture(21, 128, 4)
+	before, loadBefore := snapshotPlacement(ring)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunRoundCtx(ctx, ring, tree, core.Config{Epsilon: 0.05}); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	after, loadAfter := snapshotPlacement(ring)
+	if !placementEqual(before, after) || loadBefore != loadAfter {
+		t.Fatal("cancelled round mutated the ring")
+	}
+}
+
+// TestRunRoundCtxBackgroundMatchesRunRound: the ctx variant with a live
+// context is the same round.
+func TestRunRoundCtxBackgroundMatchesRunRound(t *testing.T) {
+	ringA, treeA := fixture(22, 96, 4)
+	resA, err := RunRoundCtx(context.Background(), ringA, treeA, core.Config{Epsilon: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ringB, treeB := fixture(22, 96, 4)
+	resB, err := RunRound(ringB, treeB, core.Config{Epsilon: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resA.Global != resB.Global || resA.MovedLoad != resB.MovedLoad ||
+		len(resA.Assignments) != len(resB.Assignments) {
+		t.Fatalf("ctx round diverged: %+v vs %+v", resA, resB)
+	}
+}
+
+// countNodes walks the KT tree (test helper; the tree has no walker).
+func countNodes(root *ktree.Node) int {
+	n := 1
+	for _, c := range root.Children {
+		n += countNodes(c)
+	}
+	return n
+}
+
+// TestReduceStopSkipsRemainingWork: closing the stop channel from
+// inside an eval makes the reduction drain without evaluating the
+// untouched subtrees, and every spawned goroutine still terminates —
+// under -race a leaked writer still touching the counter after the
+// test's final read would be flagged.
+func TestReduceStopSkipsRemainingWork(t *testing.T) {
+	_, tree := fixture(23, 512, 4)
+	total := countNodes(tree.Root())
+	stop := make(chan struct{})
+	var evals atomic.Int64
+	reduceStop(stop, tree.Root(), func(n *ktree.Node, children []int) int {
+		if evals.Add(1) == 3 {
+			close(stop)
+		}
+		return 1
+	})
+	got := int(evals.Load())
+	if got >= total {
+		t.Fatalf("stop did not short-circuit: %d of %d nodes evaluated", got, total)
+	}
+	if got < 3 {
+		t.Fatalf("only %d evals before stop — fixture too small", got)
+	}
+}
+
+// TestRunRoundCtxConcurrentCancel races a cancel against live rounds:
+// whatever the interleaving, a round either completes normally or
+// reports the cancellation with the ring exactly as it was. Run under
+// -race this also exercises the drain paths for leaks.
+func TestRunRoundCtxConcurrentCancel(t *testing.T) {
+	sawCancel := false
+	for i := 0; i < 12; i++ {
+		ring, tree := fixture(int64(100+i), 192, 4)
+		before, loadBefore := snapshotPlacement(ring)
+		ctx, cancel := context.WithCancel(context.Background())
+		go func(d time.Duration) {
+			time.Sleep(d)
+			cancel()
+		}(time.Duration(i%4) * 100 * time.Microsecond)
+		res, err := RunRoundCtx(ctx, ring, tree, core.Config{Epsilon: 0.05})
+		cancel()
+		switch {
+		case err == nil:
+			if res.MovedLoad <= 0 {
+				t.Fatalf("iteration %d: completed round moved nothing", i)
+			}
+		case err == context.Canceled:
+			sawCancel = true
+			after, loadAfter := snapshotPlacement(ring)
+			if !placementEqual(before, after) || loadBefore != loadAfter {
+				t.Fatalf("iteration %d: cancelled round mutated the ring", i)
+			}
+		default:
+			t.Fatalf("iteration %d: unexpected error %v", i, err)
+		}
+	}
+	// Both outcomes are timing-dependent; the guaranteed pre-cancel path
+	// is covered by TestRunRoundCtxPreCancelled, so a sweep that never
+	// cancels mid-flight is fine — just note it.
+	if !sawCancel {
+		t.Log("no mid-round cancellation observed in this run (timing-dependent)")
+	}
+}

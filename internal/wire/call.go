@@ -1,0 +1,49 @@
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Call performs one synchronous control request against a daemon: dial,
+// handshake (role "ctl"), one Req frame, one Resp frame. The timeout
+// bounds the whole exchange. Callers that need resilience across daemon
+// restarts retry Call at their own cadence — control requests are
+// designed idempotent (status is a read; round and drift triggers carry
+// the round number and are deduplicated by the daemon).
+func Call(addr, clusterID, kind string, body any, timeout time.Duration) (json.RawMessage, error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer nc.Close()
+	nc.SetDeadline(time.Now().Add(timeout))
+	c := newConn(nc, timeout)
+	if _, err := handshakeDial(c, Hello{Version: Version, ClusterID: clusterID, Rank: -1, Role: "ctl"}); err != nil {
+		return nil, err
+	}
+	if err := c.writeFrame(frameReq, Req{Kind: kind, Body: raw}); err != nil {
+		return nil, err
+	}
+	fkind, fbody, err := c.readFrame()
+	if err != nil {
+		return nil, err
+	}
+	if fkind != frameResp {
+		return nil, fmt.Errorf("wire: expected response, got frame kind %d", fkind)
+	}
+	var resp Resp
+	if err := json.Unmarshal(fbody, &resp); err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("wire: %s: %s", kind, resp.Err)
+	}
+	return resp.Body, nil
+}

@@ -1,0 +1,268 @@
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// freeAddrs reserves n distinct localhost addresses by binding
+// ephemeral ports and releasing them. The tiny race (another process
+// grabbing the port between close and reuse) is acceptable in tests.
+func freeAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	return addrs
+}
+
+func newPair(t *testing.T, h0, h1 func(m Msg)) (*Transport, *Transport) {
+	t.Helper()
+	addrs := freeAddrs(t, 2)
+	cfg := Config{ClusterID: "test", Addrs: addrs, Seed: 1,
+		RetryBase: 10 * time.Millisecond, RetryCap: 100 * time.Millisecond}
+	c0, c1 := cfg, cfg
+	c0.Rank, c0.Handler = 0, h0
+	c1.Rank, c1.Handler = 1, h1
+	t0, err := NewTransport(c0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := NewTransport(c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(t0.Close)
+	t.Cleanup(t1.Close)
+	return t0, t1
+}
+
+// TestSendDeliversOnce: a reliable send reaches the peer's handler
+// exactly once and the OnAcked callback fires.
+func TestSendDeliversOnce(t *testing.T) {
+	var got atomic.Int64
+	done := make(chan Msg, 1)
+	t0, _ := newPair(t, nil, func(m Msg) {
+		got.Add(1)
+		done <- m
+	})
+	acked := make(chan struct{})
+	err := t0.Send(1, "ping", 7, map[string]int{"x": 42}, SendOpts{OnAcked: func() { close(acked) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-done:
+		if m.Kind != "ping" || m.Round != 7 || m.Src != 0 {
+			t.Fatalf("bad message: %+v", m)
+		}
+		var body map[string]int
+		if err := json.Unmarshal(m.Body, &body); err != nil || body["x"] != 42 {
+			t.Fatalf("bad body: %s", m.Body)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("message never delivered")
+	}
+	select {
+	case <-acked:
+	case <-time.After(5 * time.Second):
+		t.Fatal("ack never fired")
+	}
+	time.Sleep(50 * time.Millisecond)
+	if n := got.Load(); n != 1 {
+		t.Fatalf("handler ran %d times, want 1", n)
+	}
+}
+
+// TestRetryAcrossLateStart: a message sent before the receiver exists
+// is retransmitted until the receiver comes up — the wire-level analog
+// of the sim executor's retried delivery.
+func TestRetryAcrossLateStart(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	cfg := Config{ClusterID: "test", Addrs: addrs, Seed: 1,
+		RetryBase: 10 * time.Millisecond, RetryCap: 50 * time.Millisecond, MaxAttempts: 50}
+	c0 := cfg
+	c0.Rank = 0
+	t0, err := NewTransport(c0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(t0.Close)
+
+	acked := make(chan struct{})
+	if err := t0.Send(1, "late", 1, nil, SendOpts{OnAcked: func() { close(acked) }}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(60 * time.Millisecond) // let a few attempts fail
+
+	done := make(chan struct{}, 1)
+	c1 := cfg
+	c1.Rank = 1
+	c1.Handler = func(m Msg) { done <- struct{}{} }
+	t1, err := NewTransport(c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(t1.Close)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("retransmission never reached the late receiver")
+	}
+	select {
+	case <-acked:
+	case <-time.After(5 * time.Second):
+		t.Fatal("ack never fired after late start")
+	}
+}
+
+// TestBoundedSendFails: with nobody listening, a bounded send exhausts
+// its attempts and reports failure.
+func TestBoundedSendFails(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	cfg := Config{Rank: 0, ClusterID: "test", Addrs: addrs, Seed: 1,
+		RetryBase: 5 * time.Millisecond, RetryCap: 10 * time.Millisecond, MaxAttempts: 3}
+	tr, err := NewTransport(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tr.Close)
+	failed := make(chan struct{})
+	if err := tr.Send(1, "doomed", 1, nil, SendOpts{OnFailed: func() { close(failed) }}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-failed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("bounded send never failed")
+	}
+}
+
+// TestDedupWindow: a retransmitted (duplicate) sequence number is
+// absorbed without a second handler run, and still acknowledged.
+func TestDedupWindow(t *testing.T) {
+	var runs atomic.Int64
+	addrs := freeAddrs(t, 1)
+	tr, err := NewTransport(Config{Rank: 0, ClusterID: "test", Addrs: addrs, Seed: 1,
+		Handler: func(m Msg) { runs.Add(1) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tr.Close)
+	m := Msg{Seq: 9, Src: 3, Kind: "dup"}
+	if !tr.accept(m) || !tr.accept(m) {
+		t.Fatal("accept must ack both copies")
+	}
+	if n := runs.Load(); n != 1 {
+		t.Fatalf("handler ran %d times, want 1", n)
+	}
+}
+
+// TestControlCall: the synchronous request/response path.
+func TestControlCall(t *testing.T) {
+	addrs := freeAddrs(t, 1)
+	tr, err := NewTransport(Config{Rank: 0, ClusterID: "test", Addrs: addrs, Seed: 1,
+		Request: func(kind string, body json.RawMessage) (any, error) {
+			if kind == "boom" {
+				return nil, fmt.Errorf("kaput")
+			}
+			return map[string]string{"echo": kind}, nil
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tr.Close)
+
+	out, err := Call(tr.Addr(), "test", "status", nil, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reply map[string]string
+	if err := json.Unmarshal(out, &reply); err != nil || reply["echo"] != "status" {
+		t.Fatalf("bad reply: %s", out)
+	}
+	if _, err := Call(tr.Addr(), "test", "boom", nil, 2*time.Second); err == nil {
+		t.Fatal("error reply must surface as an error")
+	}
+}
+
+// TestHandshakeVersionMismatch: a dialer speaking a different protocol
+// version is told the server's version and refused.
+func TestHandshakeVersionMismatch(t *testing.T) {
+	addrs := freeAddrs(t, 1)
+	tr, err := NewTransport(Config{Rank: 0, ClusterID: "test", Addrs: addrs, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tr.Close)
+
+	nc, err := net.Dial("tcp", tr.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	c := newConn(nc, time.Second)
+	if err := c.writeFrame(frameHello, Hello{Version: Version + 1, ClusterID: "test", Rank: 1, Role: "peer"}); err != nil {
+		t.Fatal(err)
+	}
+	kind, body, err := c.readFrame()
+	if err != nil || kind != frameHelloAck {
+		t.Fatalf("expected hello-ack, got kind %d err %v", kind, err)
+	}
+	var ack HelloAck
+	if err := json.Unmarshal(body, &ack); err != nil || ack.Version != Version {
+		t.Fatalf("bad hello-ack: %s", body)
+	}
+	// The server must close on us: the next read fails (it never
+	// processes frames from a mismatched peer).
+	nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, _, err := c.readFrame(); err == nil {
+		t.Fatal("server kept the mismatched connection open")
+	}
+}
+
+// TestConcurrentSends: many goroutines sending at once, all delivered
+// exactly once — the mesh under -race.
+func TestConcurrentSends(t *testing.T) {
+	const msgs = 64
+	var got sync.Map
+	var count atomic.Int64
+	all := make(chan struct{})
+	t0, _ := newPair(t, nil, func(m Msg) {
+		var i int
+		json.Unmarshal(m.Body, &i)
+		if _, dup := got.LoadOrStore(i, true); dup {
+			t.Errorf("payload %d delivered twice", i)
+		}
+		if count.Add(1) == msgs {
+			close(all)
+		}
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < msgs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := t0.Send(1, "n", 1, i, SendOpts{}); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case <-all:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("only %d/%d messages arrived", count.Load(), msgs)
+	}
+}
