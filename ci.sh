@@ -119,6 +119,31 @@ rm -rf "$tmp1" "$tmp2"
 tmp1=
 tmp2=
 
+echo "== lbbench serve smoke (time-boxed, determinism-diffed)"
+# A small serving run — 3 variants (balancer on/off/nocache) over the
+# same Zipf request plan — run twice at the same seed: the reports must
+# match byte-for-byte once the wall-clock fields are stripped. The
+# per-request latency checksums inside the report make this diff pin
+# the raw latency streams, not just the summaries. The tail-contrast
+# acceptance gate inside lbbench only arms at >= 100k requests, so this
+# smoke gates determinism; BENCH_serve.json (committed, 1M requests)
+# gates the tail claim. serve needs no -race leg: it is single-goroutine
+# on the sim engine (the three variants parallelize via internal/par,
+# which has its own race pass; livenet never participates).
+tmp1=$(mktemp -d)
+tmp2=$(mktemp -d)
+timeout 120 "$bin/lbbench" -bench serve -servesizes 128 -serverequests 20000 -out "$tmp1"
+timeout 120 "$bin/lbbench" -bench serve -servesizes 128 -serverequests 20000 -out "$tmp2"
+grep -vE '"unix_time"|"[a-z_]*_ms"' "$tmp1/BENCH_serve.json" > "$tmp1/stripped"
+grep -vE '"unix_time"|"[a-z_]*_ms"' "$tmp2/BENCH_serve.json" > "$tmp2/stripped"
+if ! diff "$tmp1/stripped" "$tmp2/stripped"; then
+	echo "serving layer is nondeterministic across identical runs" >&2
+	exit 1
+fi
+rm -rf "$tmp1" "$tmp2"
+tmp1=
+tmp2=
+
 echo "== cluster chaos smoke (4 processes, time-boxed)"
 # A real multi-process run: four lbd daemons over TCP, one SIGKILL
 # mid-round, supervisor restart, conservation + settle gates inside the

@@ -6,6 +6,7 @@
 //
 //	lbbench                                  # fig4 and vsatime
 //	lbbench -bench fig4,fig7,vsatime -out d  # add the fig 7 sweep
+//	lbbench -bench serve                     # tail-latency serving sweep
 //
 // Each BENCH_<name>.json holds:
 //
@@ -60,6 +61,8 @@ type benchConfig struct {
 	Procs        int       `json:"procs,omitempty"`
 	Rounds       int       `json:"rounds,omitempty"`
 	Kills        int       `json:"kills,omitempty"`
+	ServeSizes   []int     `json:"serve_sizes,omitempty"`
+	ServeReqs    int       `json:"serve_requests,omitempty"`
 }
 
 type benchReport struct {
@@ -77,7 +80,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "base RNG seed")
 		nodes      = flag.Int("nodes", 4096, "number of DHT nodes")
 		graphs     = flag.Int("graphs", 10, "topology instances for fig7")
-		bench      = flag.String("bench", "fig4,vsatime", "comma-separated benchmarks: fig4, fig7, vsatime, scale, faults, runtime, cluster")
+		bench      = flag.String("bench", "fig4,vsatime", "comma-separated benchmarks: fig4, fig7, vsatime, scale, faults, runtime, cluster, serve")
 		scalesizes = flag.String("scalesizes", "64000,256000,1000000", "comma-separated virtual-server counts for the scale benchmark")
 		runsizes   = flag.String("runtimesizes", "64000,256000", "comma-separated virtual-server counts for the runtime benchmark")
 		faultnodes = flag.Int("faultnodes", 51200, "number of DHT nodes for the faults benchmark (51200 nodes = 256k VSs)")
@@ -85,6 +88,8 @@ func main() {
 		crounds    = flag.Int("clusterrounds", 8, "balancing rounds for the cluster benchmark")
 		ckills     = flag.Int("clusterkills", 3, "SIGKILLs injected by the cluster benchmark")
 		lbdBin     = flag.String("lbd", "", "path to the lbd binary for the cluster benchmark (default: go build it into a temp dir)")
+		servesizes = flag.String("servesizes", "4096", "comma-separated DHT node counts for the serve benchmark")
+		servereqs  = flag.Int("serverequests", 1000000, "requests per serve-benchmark variant")
 	)
 	flag.Parse()
 	sizes, err := parseSizes(*scalesizes)
@@ -97,12 +102,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lbbench:", err)
 		os.Exit(1)
 	}
+	svSizes, err := parseSizes(*servesizes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbbench:", err)
+		os.Exit(1)
+	}
 	opts := benchOpts{
 		out: *out, seed: *seed, nodes: *nodes, graphs: *graphs,
 		scaleSizes: sizes, runtimeSizes: rtSizes,
 		faultNodes: *faultnodes,
 		procs:      *procs, clusterRounds: *crounds, clusterKills: *ckills,
-		lbdBin: *lbdBin,
+		lbdBin:     *lbdBin,
+		serveSizes: svSizes, serveRequests: *servereqs,
 	}
 	for _, name := range strings.Split(*bench, ",") {
 		name = strings.TrimSpace(name)
@@ -129,6 +140,8 @@ type benchOpts struct {
 	clusterRounds int
 	clusterKills  int
 	lbdBin        string
+	serveSizes    []int
+	serveRequests int
 }
 
 func parseSizes(s string) ([]int, error) {
@@ -245,8 +258,17 @@ func runBench(name string, o benchOpts) error {
 		}
 		results = report
 		mergedSnap = snap
+	case "serve":
+		cfg.Nodes = 0
+		cfg.ServeSizes = o.serveSizes
+		cfg.ServeReqs = o.serveRequests
+		rows, err := runServe(seed, o.serveSizes, o.serveRequests, reg)
+		if err != nil {
+			return err
+		}
+		results = rows
 	default:
-		return fmt.Errorf("unknown benchmark %q (want fig4, fig7, vsatime, scale, faults, runtime, cluster)", name)
+		return fmt.Errorf("unknown benchmark %q (want fig4, fig7, vsatime, scale, faults, runtime, cluster, serve)", name)
 	}
 	wall := time.Since(start)
 
@@ -282,6 +304,57 @@ func runBench(name string, o benchOpts) error {
 // faultRates is the drop-rate grid of the faults benchmark, matching
 // `lbsim -fig faults`.
 var faultRates = []float64{0, 0.05, 0.10, 0.20, 0.30}
+
+// runServe replays the tail-latency serving sweep at each ring size and
+// enforces the two claims the committed BENCH_serve.json exists to pin:
+// interleaved balancing strictly improves the service tail over the
+// balancer-off baseline on the same plan, and the hot-path lookup cache
+// cuts mean overlay hops against the uncached variant. The gate only
+// arms at >= 100k requests — below that (smoke runs) the tail is too
+// noisy to assert on.
+func runServe(seed int64, sizes []int, requests int, reg *metrics.Registry) ([]exp.ServeRow, error) {
+	var all []exp.ServeRow
+	for _, n := range sizes {
+		s := exp.DefaultServeSetup(seed)
+		s.Nodes = n
+		s.Requests = requests
+		s.Metrics = reg
+		rows, err := exp.ServeSweep(s)
+		if err != nil {
+			return nil, err
+		}
+		if requests >= 100_000 {
+			if err := checkServeRows(rows); err != nil {
+				return nil, fmt.Errorf("serve acceptance at %d nodes: %w", n, err)
+			}
+		}
+		all = append(all, rows...)
+	}
+	return all, nil
+}
+
+// checkServeRows asserts the balancer-on vs balancer-off tail contrast
+// and the cached vs uncached hop contrast across one size's variants.
+func checkServeRows(rows []exp.ServeRow) error {
+	byName := map[string]exp.ServeRow{}
+	for _, r := range rows {
+		byName[r.Variant] = r
+	}
+	off, on, nocache := byName["balancer-off"], byName["balancer-on"], byName["balancer-on-nocache"]
+	if off.Report == nil || on.Report == nil || nocache.Report == nil {
+		return fmt.Errorf("missing variant in sweep output")
+	}
+	if on.Service.P99 >= off.Service.P99 {
+		return fmt.Errorf("balancer-on service p99 %.0f not below balancer-off %.0f", on.Service.P99, off.Service.P99)
+	}
+	if on.Service.P999 >= off.Service.P999 {
+		return fmt.Errorf("balancer-on service p999 %.0f not below balancer-off %.0f", on.Service.P999, off.Service.P999)
+	}
+	if on.MeanHops >= nocache.MeanHops {
+		return fmt.Errorf("cached mean hops %.3f not below uncached %.3f", on.MeanHops, nocache.MeanHops)
+	}
+	return nil
+}
 
 // runCluster drives the multi-process chaos harness: lbd daemons over
 // real TCP, SIGKILLs mid-round, supervisor restarts. The returned

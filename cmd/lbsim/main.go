@@ -12,6 +12,7 @@
 //	lbsim -fig rao        # Rao et al. schemes vs the tree scheme
 //	lbsim -fig churn      # robustness vs membership churn rate
 //	lbsim -fig faults     # graceful degradation under message loss + partition recovery
+//	lbsim -fig serve      # tail latency serving 1M Zipf requests, balancer on/off
 //
 // Common flags: -seed, -nodes, -graphs (figs 7/8), -eps, -csv FILE.
 // Observability: -metrics FILE dumps a metrics snapshot (JSON, or CSV
@@ -43,7 +44,7 @@ import (
 
 func main() {
 	var (
-		fig        = flag.String("fig", "", "figure to regenerate: 4, 5, 6, 7, 8, vsatime, cfs, rao, churn, faults")
+		fig        = flag.String("fig", "", "figure to regenerate: 4, 5, 6, 7, 8, vsatime, cfs, rao, churn, faults, serve")
 		seed       = flag.Int64("seed", 1, "base RNG seed")
 		nodes      = flag.Int("nodes", 4096, "number of DHT nodes")
 		graphs     = flag.Int("graphs", 10, "topology instances for figs 7/8 (paper: 10)")
@@ -120,9 +121,58 @@ func run(fig string, seed int64, nodes, graphs int, eps float64, csvOut string, 
 		return churnSensitivity(seed, nodes)
 	case "faults":
 		return faultTolerance(seed, nodes)
+	case "serve":
+		return figServe(seed, nodes, csvOut, reg)
 	default:
 		return fmt.Errorf("unknown figure %q", fig)
 	}
+}
+
+// figServe runs the tail-latency serving experiment (EXPERIMENTS.md
+// "Tail latency"): the same million-request Zipf plan replayed with the
+// balancer off, on, and on-without-lookup-cache, showing whether
+// balancing flattens the service tail and what the hot-path cache
+// saves in lookup hops.
+func figServe(seed int64, nodes int, csvOut string, reg *metrics.Registry) error {
+	s := exp.DefaultServeSetup(seed)
+	s.Nodes = nodes
+	s.Metrics = reg
+	rows, err := exp.ServeSweep(s)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Serving layer — tail latency under load balancing, N=%d, %d requests @ %.1f/tick (%.0f%% of ideal throughput)\n",
+		nodes, s.Requests, rows[0].Rate, 100*s.Utilization)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "  variant\thops\thit%\tlookup p50/p99\tservice p50\tservice p99\tservice p999\trounds\ttransfers")
+	for _, r := range rows {
+		hitPct := 0.0
+		if looked := r.CacheHits + r.CacheMisses; looked > 0 {
+			hitPct = 100 * float64(r.CacheHits) / float64(looked)
+		}
+		fmt.Fprintf(w, "  %s\t%.2f\t%.1f\t%.0f/%.0f\t%.0f\t%.0f\t%.0f\t%d\t%d\n",
+			r.Variant, r.MeanHops, hitPct,
+			r.Lookup.P50, r.Lookup.P99,
+			r.Service.P50, r.Service.P99, r.Service.P999,
+			r.Rounds, r.Transfers)
+	}
+	w.Flush()
+	if csvOut != "" {
+		out := [][]string{{"variant", "mean_hops", "cache_hits", "cache_misses",
+			"lookup_p50", "lookup_p99", "service_p50", "service_p99", "service_p999",
+			"rounds", "transfers"}}
+		for _, r := range rows {
+			out = append(out, []string{
+				r.Variant, fmtF(r.MeanHops),
+				strconv.FormatInt(r.CacheHits, 10), strconv.FormatInt(r.CacheMisses, 10),
+				fmtF(r.Lookup.P50), fmtF(r.Lookup.P99),
+				fmtF(r.Service.P50), fmtF(r.Service.P99), fmtF(r.Service.P999),
+				strconv.Itoa(r.Rounds), strconv.Itoa(r.Transfers),
+			})
+		}
+		return writeCSV(csvOut, out)
+	}
+	return nil
 }
 
 func setupWith(seed int64, nodes int, eps float64) exp.Setup {

@@ -18,6 +18,7 @@ var DeterministicPkgs = []string{
 	"internal/exp",
 	"internal/workload",
 	"internal/faults",
+	"internal/serve",
 }
 
 // Nondeterminism forbids the three ways nondeterminism has crept (or

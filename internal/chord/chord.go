@@ -627,6 +627,12 @@ func (r *Ring) lookupStep(origin *Node, cur *VServer, key ident.ID, hops int, co
 				r.lookupStep(origin, r.Successor(key), key, hops+1, cost+hop, cb)
 				return
 			}
+			// A join may have split succ's region in flight so it no
+			// longer owns the key; succ forwards rather than answering.
+			if !r.RegionOf(succ).Contains(key) {
+				r.lookupStep(origin, succ, key, hops+1, cost+hop, cb)
+				return
+			}
 			r.observeLookup(hops+1, cost+hop)
 			cb(LookupResult{VS: succ, Hops: hops + 1, Cost: cost + hop})
 		})

@@ -22,6 +22,9 @@ func (b *Balancer) RunRound() (*Result, error) {
 			return nil, err
 		}
 	}
+	if b.cfg.Loads != nil {
+		b.cfg.Loads.Refresh(b.ring)
+	}
 
 	res := &Result{
 		Mode:        b.cfg.Mode,

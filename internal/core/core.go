@@ -161,6 +161,12 @@ type Config struct {
 	// model; this only affects the reported Assignment.Hops and the
 	// moved-load histogram.
 	TransferCost func(from, to *chord.Node) int
+	// Loads, when set, is Refreshed at the top of every round so the
+	// balancer classifies against the source's current view of per-VS
+	// load (an observed request rate, a drifting model, ...). nil means
+	// vs.Load is maintained externally — the classic assigned-scalar
+	// contract.
+	Loads LoadSource
 }
 
 // DefaultRendezvousThreshold is the paper's suggested rendezvous

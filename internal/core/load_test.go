@@ -1,0 +1,55 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"p2plb/internal/chord"
+	"p2plb/internal/sim"
+	"p2plb/internal/workload"
+)
+
+// SampledLoads is one-shot: the first Refresh draws exactly the loads
+// the historical assignment loop drew, and later Refreshes (every
+// balancing round calls one) must not re-sample.
+func TestSampledLoadsOneShot(t *testing.T) {
+	build := func() (*chord.Ring, *rand.Rand) {
+		eng := sim.NewEngine(1)
+		ring := chord.NewRing(eng, chord.Config{})
+		for i := 0; i < 16; i++ {
+			ring.AddNode(-1, 1, 4)
+		}
+		return ring, eng.Rand()
+	}
+
+	ringA, rngA := build()
+	model := workload.Gaussian{Mu: 100, Sigma: 20}
+	for _, vs := range ringA.VServers() {
+		vs.Load = model.Load(rngA, ringA.RegionOf(vs).Fraction())
+	}
+
+	ringB, rngB := build()
+	src := &SampledLoads{Model: model, Rng: rngB}
+	src.Refresh(ringB)
+
+	va, vb := ringA.VServers(), ringB.VServers()
+	for i := range va {
+		if va[i].Load != vb[i].Load {
+			t.Fatalf("VS %d: SampledLoads drew %v, assignment loop drew %v", i, vb[i].Load, va[i].Load)
+		}
+	}
+
+	before := make([]float64, len(vb))
+	for i, vs := range vb {
+		before[i] = vs.Load
+	}
+	src.Refresh(ringB)
+	for i, vs := range vb {
+		if vs.Load != before[i] {
+			t.Fatalf("second Refresh re-sampled VS %d: %v -> %v", i, before[i], vs.Load)
+		}
+	}
+	if src.Name() != "sampled/gaussian" {
+		t.Fatalf("Name = %q", src.Name())
+	}
+}

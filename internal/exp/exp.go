@@ -182,9 +182,15 @@ func Build(s Setup) (*Instance, error) {
 	} else {
 		model = workload.Gaussian{Mu: s.Mu, Sigma: s.Sigma}
 	}
-	for _, vs := range inst.Ring.VServers() {
-		vs.Load = model.Load(inst.Engine.Rand(), inst.Ring.RegionOf(vs).Fraction())
-	}
+	// Loads come from a core.LoadSource. The sampled source's one-shot
+	// Refresh makes exactly the draws the historical assignment loop
+	// made here (ring order, engine RNG), so figures at a given seed are
+	// unchanged; refreshing eagerly keeps vs.Load populated for code
+	// that reads it between Build and the first round (the before-LB
+	// scatter of fig 4). Serving experiments override Loads with the
+	// observed-request-rate source instead.
+	loads := &core.SampledLoads{Model: model, Rng: inst.Engine.Rand()}
+	loads.Refresh(inst.Ring)
 
 	tree, err := ktree.New(inst.Ring, s.K)
 	if err != nil {
@@ -199,6 +205,7 @@ func Build(s Setup) (*Instance, error) {
 		Mode:                s.Mode,
 		Epsilon:             s.Epsilon,
 		RendezvousThreshold: s.RendezvousThreshold,
+		Loads:               loads,
 	}
 	if inst.Graph != nil {
 		hops := inst.HopDistances

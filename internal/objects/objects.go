@@ -71,6 +71,56 @@ func (s *Store) Insert(o Object) error {
 	return nil
 }
 
+// BulkInsert stores a batch of objects in one sort-and-merge pass.
+// Semantically it equals calling Insert on each object in order — loads
+// are credited to owners in the batch's given order, so the float sums
+// match an Insert loop bit for bit — but it replaces the per-object
+// O(n) copy-insert with one O(m log m) sort of the batch and a single
+// linear merge into the key-sorted array. Populating millions of
+// objects goes from quadratic to linearithmic; see BenchmarkInsertLoop
+// vs BenchmarkBulkInsert.
+func (s *Store) BulkInsert(objs []Object) error {
+	if len(objs) == 0 {
+		return nil
+	}
+	if s.ring.NumVServers() == 0 {
+		return fmt.Errorf("objects: empty ring")
+	}
+	for _, o := range objs {
+		if o.Load < 0 {
+			return fmt.Errorf("objects: negative load %v", o.Load)
+		}
+	}
+	// Credit owners in the caller's order, before sorting, so a caller
+	// that switches from an Insert loop to BulkInsert sees identical
+	// virtual-server loads (float addition is order-sensitive).
+	for _, o := range objs {
+		s.ring.Successor(o.Key).Load += o.Load
+	}
+	batch := make([]Object, len(objs))
+	copy(batch, objs)
+	sort.Slice(batch, func(i, j int) bool { return batch[i].Key < batch[j].Key }) //lbvet:ignore identcompare canonical Key-sorted order for the object array
+	if len(s.objs) == 0 {
+		s.objs = batch
+		return nil
+	}
+	merged := make([]Object, 0, len(s.objs)+len(batch))
+	i, j := 0, 0
+	for i < len(s.objs) && j < len(batch) {
+		if s.objs[i].Key <= batch[j].Key { //lbvet:ignore identcompare sorted merge of two canonically Key-sorted arrays
+			merged = append(merged, s.objs[i])
+			i++
+		} else {
+			merged = append(merged, batch[j])
+			j++
+		}
+	}
+	merged = append(merged, s.objs[i:]...)
+	merged = append(merged, batch[j:]...)
+	s.objs = merged
+	return nil
+}
+
 // RemoveAt deletes the i-th object (in key order) and debits its load.
 func (s *Store) RemoveAt(i int) (Object, error) {
 	if i < 0 || i >= len(s.objs) {

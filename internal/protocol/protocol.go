@@ -319,6 +319,12 @@ func (r *Runner) StartRound(done func(*Result, error)) error {
 	if r.cfg.ParallelSubtrees && r.eng.Filter() != nil {
 		return fmt.Errorf("protocol: ParallelSubtrees is incompatible with a fault filter (filter state couples the subtrees)")
 	}
+	// Same contract as core.Balancer.RunRound: a configured LoadSource
+	// snapshots its current view into vs.Load before the LBI sweep reads
+	// it (the serving layer's observed request rates refresh here).
+	if r.cfg.Core.Loads != nil {
+		r.cfg.Core.Loads.Refresh(r.ring)
+	}
 	r.roundActive = true
 	timeout := r.cfg.ChildTimeout
 	if timeout == 0 {

@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"p2plb/internal/sim"
+	"p2plb/internal/stats"
+)
+
+// LatencySummary is the tail-focused view of one latency stream, in
+// simulation ticks.
+type LatencySummary struct {
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P99  float64 `json:"p99"`
+	P999 float64 `json:"p999"`
+	Max  float64 `json:"max"`
+}
+
+func summarize(xs []float64) LatencySummary {
+	if len(xs) == 0 {
+		return LatencySummary{}
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	sum := stats.SummarizeSorted(sorted)
+	return LatencySummary{
+		Mean: sum.Mean,
+		P50:  sum.Median,
+		P99:  stats.PercentileSorted(sorted, 99),
+		P999: stats.PercentileSorted(sorted, 99.9),
+		Max:  sum.Max,
+	}
+}
+
+// Report is the outcome of one served plan. When a warmup window is
+// configured, the latency summaries, hop counts and checksum cover the
+// Measured post-warmup requests only; Requests/Gets/Puts count
+// everything served.
+type Report struct {
+	Requests int `json:"requests"`
+	Measured int `json:"measured"`
+	Gets     int `json:"gets"`
+	Puts     int `json:"puts"`
+	// Duration is the virtual time at which the last queued service
+	// completed.
+	Duration sim.Time `json:"duration"`
+
+	// MeanHops is the average overlay hop count per lookup — the number
+	// the hot-path cache exists to cut.
+	MeanHops float64 `json:"mean_hops"`
+	// Cache counters (all zero when the cache is disabled).
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	CacheStale  int64 `json:"cache_stale"`
+
+	Lookup  LatencySummary `json:"lookup"`
+	Service LatencySummary `json:"service"`
+	Total   LatencySummary `json:"total"`
+
+	// Balancing activity interleaved with the stream.
+	Rounds    int     `json:"rounds"`
+	Transfers int     `json:"transfers"`
+	MovedLoad float64 `json:"moved_load"`
+
+	// Checksum fingerprints the raw per-request latency streams in
+	// completion order (FNV-64a over the IEEE-754 bits). Two runs of
+	// the same plan are byte-identical iff their checksums match — the
+	// determinism gate diffs this, not just the summaries.
+	Checksum string `json:"checksum"`
+}
+
+func (s *Server) report() *Report {
+	rep := &Report{
+		Requests:  s.served,
+		Measured:  len(s.totalLat),
+		Gets:      s.gets,
+		Puts:      s.puts,
+		Duration:  sim.Time(math.Ceil(s.lastFinish)),
+		Rounds:    s.rounds,
+		Transfers: s.transfers,
+		MovedLoad: s.movedLoad,
+		Lookup:    summarize(s.lookupLat),
+		Service:   summarize(s.serviceLat),
+		Total:     summarize(s.totalLat),
+		Checksum:  checksum(s.lookupLat, s.serviceLat),
+	}
+	if rep.Measured > 0 {
+		rep.MeanHops = float64(s.hopSum) / float64(rep.Measured)
+	}
+	if s.cache != nil {
+		rep.CacheHits, rep.CacheMisses, rep.CacheStale = s.cache.Stats()
+	}
+	return rep
+}
+
+// checksum fingerprints latency streams: FNV-64a over each sample's
+// IEEE-754 bits in completion order.
+func checksum(streams ...[]float64) string {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, xs := range streams {
+		for _, x := range xs {
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(x))
+			h.Write(b[:])
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -1,0 +1,208 @@
+package workload
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// This file defines the request workload the serving layer replays: an
+// open-loop stream of get/put requests with Zipf object popularity.
+// Unlike the LoadModel above — which *assigns* each virtual server a
+// load scalar once — a RequestPlan makes load an emergent property:
+// requests arrive, route, queue and are served, and a virtual server's
+// load is whatever request rate it is observed to absorb.
+//
+// A plan is a pure function of its Spec: the arrival process, object
+// choices, operations and origins are drawn from a private RNG derived
+// from the spec seed (FNV-mixed, like internal/faults derives its
+// per-class streams), never from a sim.Engine. Two iterations of the
+// same plan yield the identical request sequence byte for byte, which
+// is what makes serve runs replayable and the latency histograms
+// diffable across processes and commits.
+
+// RequestOp is the operation a request performs.
+type RequestOp uint8
+
+// Operations.
+const (
+	OpGet RequestOp = iota
+	OpPut
+)
+
+func (o RequestOp) String() string {
+	if o == OpPut {
+		return "put"
+	}
+	return "get"
+}
+
+// Request is one planned arrival. At is in virtual-time units (the
+// same units as sim.Time; the plan stays int64 so this package does not
+// depend on the engine). Object is the popularity index of the target
+// object — index 0 is the hottest; the serving layer maps indexes to
+// identifier-space keys. Origin selects the requesting node.
+type Request struct {
+	At     int64
+	Object int
+	Op     RequestOp
+	Origin int
+}
+
+// PlanSpec parameterizes a RequestPlan.
+type PlanSpec struct {
+	// Seed derives the plan's private RNG stream.
+	Seed int64
+	// Requests is the total number of arrivals.
+	Requests int
+	// Objects is the size of the object population; Zipf popularity
+	// ranks are drawn over [0, Objects).
+	Objects int
+	// Rate is the open-loop mean arrival rate in requests per
+	// virtual-time unit. Inter-arrival gaps are exponential (Poisson
+	// arrivals); the stream does not slow down when the system backs
+	// up — that is what makes tail latency observable.
+	Rate float64
+	// ZipfS is the Zipf skew (> 1; the paper's object-popularity
+	// regime). Zero means the default 1.1.
+	ZipfS float64
+	// ZipfV is the Zipf value offset (>= 1). Zero means 1.
+	ZipfV float64
+	// PutFraction is the probability a request is a put. Zero is
+	// honoured (a read-only workload); the serving default is set by
+	// the experiment, not here.
+	PutFraction float64
+	// Origins is the number of distinct request origins (physical
+	// nodes); each request draws one uniformly.
+	Origins int
+}
+
+// Validate reports spec errors.
+func (s PlanSpec) Validate() error {
+	if s.Requests < 1 {
+		return fmt.Errorf("workload: plan needs at least one request, got %d", s.Requests)
+	}
+	if s.Objects < 1 {
+		return fmt.Errorf("workload: plan needs at least one object, got %d", s.Objects)
+	}
+	if s.Rate <= 0 {
+		return fmt.Errorf("workload: non-positive arrival rate %v", s.Rate)
+	}
+	if s.ZipfS != 0 && s.ZipfS <= 1 {
+		return fmt.Errorf("workload: Zipf skew %v must exceed 1", s.ZipfS)
+	}
+	if s.ZipfV != 0 && s.ZipfV < 1 {
+		return fmt.Errorf("workload: Zipf offset %v must be at least 1", s.ZipfV)
+	}
+	if s.PutFraction < 0 || s.PutFraction > 1 {
+		return fmt.Errorf("workload: put fraction %v outside [0,1]", s.PutFraction)
+	}
+	if s.Origins < 1 {
+		return fmt.Errorf("workload: plan needs at least one origin, got %d", s.Origins)
+	}
+	return nil
+}
+
+func (s PlanSpec) zipfS() float64 {
+	if s.ZipfS == 0 {
+		return 1.1
+	}
+	return s.ZipfS
+}
+
+func (s PlanSpec) zipfV() float64 {
+	if s.ZipfV == 0 {
+		return 1
+	}
+	return s.ZipfV
+}
+
+// planSeed mixes the spec seed into an independent RNG stream so a plan
+// never shares draws with the engine or the fault injector at the same
+// seed (the internal/faults idiom).
+func planSeed(seed int64) int64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(uint64(seed) >> (8 * i))
+	}
+	h.Write(b[:])
+	h.Write([]byte("workload.RequestPlan"))
+	return int64(h.Sum64())
+}
+
+// RequestPlan generates the arrival stream of a PlanSpec. Use Next to
+// stream requests in arrival order (millions of requests never
+// materialize at once) and Reset to replay the identical sequence.
+type RequestPlan struct {
+	spec    PlanSpec
+	rng     *rand.Rand
+	zipf    *rand.Zipf
+	emitted int
+	clock   float64 // exact arrival instant; Request.At is its floor
+}
+
+// NewRequestPlan validates spec and returns a plan positioned at the
+// first request.
+func NewRequestPlan(spec PlanSpec) (*RequestPlan, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	p := &RequestPlan{spec: spec}
+	p.Reset()
+	return p, nil
+}
+
+// Spec returns the plan's spec.
+func (p *RequestPlan) Spec() PlanSpec { return p.spec }
+
+// Reset rewinds the plan to its first request; the regenerated stream
+// is identical to the previous iteration.
+func (p *RequestPlan) Reset() {
+	p.rng = rand.New(rand.NewSource(planSeed(p.spec.Seed)))
+	p.zipf = rand.NewZipf(p.rng, p.spec.zipfS(), p.spec.zipfV(), uint64(p.spec.Objects-1))
+	p.emitted = 0
+	p.clock = 0
+}
+
+// Next returns the next planned request in arrival order (timestamps
+// are nondecreasing). ok is false once Requests arrivals have been
+// emitted.
+func (p *RequestPlan) Next() (r Request, ok bool) {
+	if p.emitted >= p.spec.Requests {
+		return Request{}, false
+	}
+	p.emitted++
+	p.clock += p.rng.ExpFloat64() / p.spec.Rate
+	r.At = int64(p.clock)
+	r.Object = int(p.zipf.Uint64())
+	r.Op = OpGet
+	if p.spec.PutFraction > 0 && p.rng.Float64() < p.spec.PutFraction {
+		r.Op = OpPut
+	}
+	r.Origin = p.rng.Intn(p.spec.Origins)
+	return r, true
+}
+
+// Remaining returns how many requests the plan has yet to emit.
+func (p *RequestPlan) Remaining() int { return p.spec.Requests - p.emitted }
+
+// ExpectedWeights returns the normalized expected request share of each
+// object index under the plan's popularity distribution: index k gets
+// weight proportional to 1/(v+k)^s, the Zipf pmf. The serving layer
+// uses it to seed per-object expected loads (via the object store) so a
+// run starts from the analytic expectation rather than zero knowledge.
+func (p *RequestPlan) ExpectedWeights() []float64 {
+	s, v := p.spec.zipfS(), p.spec.zipfV()
+	w := make([]float64, p.spec.Objects)
+	var sum float64
+	for k := range w {
+		w[k] = 1 / math.Pow(v+float64(k), s)
+		sum += w[k]
+	}
+	for k := range w {
+		w[k] /= sum
+	}
+	return w
+}

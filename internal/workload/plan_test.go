@@ -1,0 +1,195 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func testSpec() PlanSpec {
+	return PlanSpec{
+		Seed:        1,
+		Requests:    20000,
+		Objects:     5000,
+		Rate:        4,
+		PutFraction: 0.1,
+		Origins:     64,
+	}
+}
+
+func drain(t *testing.T, p *RequestPlan) []Request {
+	t.Helper()
+	out := make([]Request, 0, p.Spec().Requests)
+	for {
+		r, ok := p.Next()
+		if !ok {
+			break
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Two plans with the same spec — and one plan replayed via Reset — must
+// produce the identical request sequence: this is the reproducibility
+// contract the serve determinism gate rests on.
+func TestRequestPlanDeterministic(t *testing.T) {
+	p1, err := NewRequestPlan(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := NewRequestPlan(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := drain(t, p1), drain(t, p2)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	p1.Reset()
+	c := drain(t, p1)
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("replay after Reset diverges at %d: %+v vs %+v", i, a[i], c[i])
+		}
+	}
+}
+
+func TestRequestPlanSeedsIndependent(t *testing.T) {
+	s := testSpec()
+	s.Seed = 2
+	p1, _ := NewRequestPlan(testSpec())
+	p2, _ := NewRequestPlan(s)
+	a, b := drain(t, p1), drain(t, p2)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical plans")
+	}
+}
+
+// The stream is open-loop Poisson: timestamps nondecreasing, mean
+// inter-arrival ≈ 1/Rate, and all fields in range.
+func TestRequestPlanShape(t *testing.T) {
+	spec := testSpec()
+	p, err := NewRequestPlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := drain(t, p)
+	if len(reqs) != spec.Requests {
+		t.Fatalf("emitted %d requests, want %d", len(reqs), spec.Requests)
+	}
+	if p.Remaining() != 0 {
+		t.Fatalf("Remaining = %d after drain", p.Remaining())
+	}
+	puts := 0
+	for i, r := range reqs {
+		if i > 0 && r.At < reqs[i-1].At {
+			t.Fatalf("timestamps regress at %d: %d after %d", i, r.At, reqs[i-1].At)
+		}
+		if r.Object < 0 || r.Object >= spec.Objects {
+			t.Fatalf("object %d out of range at %d", r.Object, i)
+		}
+		if r.Origin < 0 || r.Origin >= spec.Origins {
+			t.Fatalf("origin %d out of range at %d", r.Origin, i)
+		}
+		if r.Op == OpPut {
+			puts++
+		}
+	}
+	// Mean arrival rate: span/requests should be ~1/Rate.
+	span := float64(reqs[len(reqs)-1].At)
+	gotRate := float64(len(reqs)) / span
+	if gotRate < spec.Rate*0.9 || gotRate > spec.Rate*1.1 {
+		t.Fatalf("observed rate %.3f, want ≈ %.3f", gotRate, spec.Rate)
+	}
+	putFrac := float64(puts) / float64(len(reqs))
+	if putFrac < 0.07 || putFrac > 0.13 {
+		t.Fatalf("put fraction %.3f, want ≈ %.3f", putFrac, spec.PutFraction)
+	}
+}
+
+// Zipf popularity: the hottest object must dominate the median-rank
+// object by a wide margin.
+func TestRequestPlanZipfSkew(t *testing.T) {
+	p, err := NewRequestPlan(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, testSpec().Objects)
+	for {
+		r, ok := p.Next()
+		if !ok {
+			break
+		}
+		counts[r.Object]++
+	}
+	if counts[0] < 20*maxInt(counts[2500], 1) {
+		t.Fatalf("head object count %d not ≫ median-rank count %d", counts[0], counts[2500])
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestExpectedWeights(t *testing.T) {
+	p, err := NewRequestPlan(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := p.ExpectedWeights()
+	if len(w) != testSpec().Objects {
+		t.Fatalf("got %d weights, want %d", len(w), testSpec().Objects)
+	}
+	var sum float64
+	for k, wk := range w {
+		if wk <= 0 {
+			t.Fatalf("weight %d nonpositive: %v", k, wk)
+		}
+		if k > 0 && wk > w[k-1] {
+			t.Fatalf("weights not monotone at %d", k)
+		}
+		sum += wk
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("weights sum to %v, want 1", sum)
+	}
+}
+
+func TestPlanSpecValidate(t *testing.T) {
+	base := testSpec()
+	bad := []func(*PlanSpec){
+		func(s *PlanSpec) { s.Requests = 0 },
+		func(s *PlanSpec) { s.Objects = 0 },
+		func(s *PlanSpec) { s.Rate = 0 },
+		func(s *PlanSpec) { s.Rate = -1 },
+		func(s *PlanSpec) { s.ZipfS = 1 },
+		func(s *PlanSpec) { s.ZipfV = 0.5 },
+		func(s *PlanSpec) { s.PutFraction = 1.5 },
+		func(s *PlanSpec) { s.PutFraction = -0.1 },
+		func(s *PlanSpec) { s.Origins = 0 },
+	}
+	for i, mutate := range bad {
+		s := base
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Fatalf("case %d: expected validation error for %+v", i, s)
+		}
+	}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+}
